@@ -1,0 +1,387 @@
+// Benchmarks: one per experiment of DESIGN.md §4 (each experiment stands in
+// for a table/figure of this theory paper), plus micro-benchmarks of the
+// protocol kernels and the ablations DESIGN.md §5 calls out.
+package refereenet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/collide"
+	"refereenet/internal/congest"
+	"refereenet/internal/core"
+	"refereenet/internal/experiments"
+	"refereenet/internal/gen"
+	"refereenet/internal/graph"
+	"refereenet/internal/numeric"
+	"refereenet/internal/sim"
+	"refereenet/internal/sketch"
+)
+
+func quickCfg() experiments.Config { return experiments.Config{Seed: 1, Quick: true} }
+
+// --- One bench per experiment (regenerates the table in Quick scale) ---
+
+func BenchmarkE1DegeneracyReconstruct(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E1Reconstruction(quickCfg())
+	}
+}
+
+func BenchmarkE2LocalEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E2LocalEncoding(quickCfg())
+	}
+}
+
+func BenchmarkE3DecoderAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E3DecoderAblation(quickCfg())
+	}
+}
+
+func BenchmarkE4SquareReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E4SquareReduction(quickCfg())
+	}
+}
+
+func BenchmarkE5DiameterReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E5DiameterReduction(quickCfg())
+	}
+}
+
+func BenchmarkE6TriangleReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E6TriangleReduction(quickCfg())
+	}
+}
+
+func BenchmarkE7Counting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E7Counting(quickCfg())
+	}
+}
+
+func BenchmarkE8CollisionSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E8Collisions(quickCfg())
+	}
+}
+
+func BenchmarkE9PartitionConnectivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E9PartitionConnectivity(quickCfg())
+	}
+}
+
+func BenchmarkE10Recognition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E10Recognition(quickCfg())
+	}
+}
+
+func BenchmarkE11Generalized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E11Generalized(quickCfg())
+	}
+}
+
+func BenchmarkE12Extensions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.E12Extensions(quickCfg())
+	}
+}
+
+// --- Protocol kernels across sizes (the scaling stories behind E1/E2) ---
+
+func BenchmarkLocalEncode(b *testing.B) {
+	for _, k := range []int{1, 3, 5} {
+		for _, n := range []int{256, 1024, 4096} {
+			g := gen.RandomKDegenerate(gen.NewRand(1), n, k, true)
+			p := &core.DegeneracyProtocol{K: k}
+			// Highest-degree node = worst-case local computation.
+			v, best := 1, -1
+			for u := 1; u <= n; u++ {
+				if d := g.Degree(u); d > best {
+					v, best = u, d
+				}
+			}
+			nbrs := g.Neighbors(v)
+			b.Run(fmt.Sprintf("k=%d/n=%d", k, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p.LocalMessage(n, v, nbrs)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkReferee(b *testing.B) {
+	for _, k := range []int{1, 3} {
+		for _, n := range []int{256, 1024} {
+			g := gen.RandomKDegenerate(gen.NewRand(2), n, k, true)
+			p := &core.DegeneracyProtocol{K: k}
+			tr := sim.LocalPhase(g, p, sim.Parallel)
+			b.Run(fmt.Sprintf("decode/k=%d/n=%d", k, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Reconstruct(n, tr.Messages); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkLocalPhaseModes(b *testing.B) {
+	g := gen.KTree(gen.NewRand(3), 2048, 4)
+	p := &core.DegeneracyProtocol{K: 4}
+	for _, m := range []struct {
+		name string
+		mode sim.Mode
+	}{{"sequential", sim.Sequential}, {"parallel", sim.Parallel}, {"async", sim.Async}} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.LocalPhase(g, p, m.mode)
+			}
+		})
+	}
+}
+
+func BenchmarkDecoderAblation(b *testing.B) {
+	n, k := 32, 3
+	g := gen.RandomKDegenerate(gen.NewRand(4), n, k, true)
+	p := &core.DegeneracyProtocol{K: k}
+	tr := sim.LocalPhase(g, p, sim.Sequential)
+	ld, err := core.NewLookupDecoder(n, k, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("newton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Reconstruct(n, tr.Messages); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		pl := &core.DegeneracyProtocol{K: k, Decoder: ld}
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Reconstruct(n, tr.Messages); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkGraphAlgorithms(b *testing.B) {
+	g := gen.Gnp(gen.NewRand(5), 512, 0.05)
+	b.Run("degeneracy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Degeneracy()
+		}
+	})
+	b.Run("hasSquare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.HasSquare()
+		}
+	})
+	b.Run("hasTriangle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.HasTriangle()
+		}
+	})
+	b.Run("diameter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g.Diameter()
+		}
+	})
+}
+
+func BenchmarkSketch(b *testing.B) {
+	n := 64
+	g := gen.ConnectedGnp(gen.NewRand(6), n, 0.06)
+	sc := sketch.NewSketchConnectivity(n, 7)
+	b.Run("encode", func(b *testing.B) {
+		nbrs := g.Neighbors(1)
+		for i := 0; i < b.N; i++ {
+			sc.LocalMessage(n, 1, nbrs)
+		}
+	})
+	tr := sim.LocalPhase(g, sc, sim.Parallel)
+	b.Run("decide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sc.Decide(n, tr.Messages); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPartitionConnectivity(b *testing.B) {
+	n := 256
+	g := gen.ConnectedGnp(gen.NewRand(7), n, 0.02)
+	for _, k := range []int{2, 8} {
+		pc := sketch.NewIntervalPartition(n, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := pc.Run(g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCollisionSearch(b *testing.B) {
+	s := collide.DegreeOnly()
+	b.Run("n=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			collide.FindDecisionCollision(s.Local, (*graph.Graph).HasSquare, 5, nil)
+		}
+	})
+	b.Run("n=6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			collide.FindDecisionCollision(s.Local, (*graph.Graph).HasTriangle, 6, nil)
+		}
+	})
+}
+
+func BenchmarkEnumerate(b *testing.B) {
+	b.Run("n=6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			collide.EnumerateGraphs(6, func(_ uint64, g *graph.Graph) bool {
+				if g.IsConnected() {
+					count++
+				}
+				return true
+			})
+		}
+	})
+}
+
+func BenchmarkReductions(b *testing.B) {
+	g := gen.GreedySquareFree(gen.NewRand(8), 14, 0)
+	b.Run("square/n=14", func(b *testing.B) {
+		delta := &core.SquareReduction{Gamma: core.NewSquareOracle()}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sim.RunReconstructor(g, delta, sim.Sequential); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	g2 := gen.Gnp(gen.NewRand(9), 12, 0.3)
+	b.Run("diameter/n=12", func(b *testing.B) {
+		delta := &core.DiameterReduction{Gamma: core.NewDiameterOracle(3)}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sim.RunReconstructor(g2, delta, sim.Sequential); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	g3 := gen.RandomBipartite(gen.NewRand(10), 6, 6, 0.4)
+	b.Run("triangle/n=12", func(b *testing.B) {
+		delta := &core.TriangleReduction{Gamma: core.NewTriangleOracle()}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sim.RunReconstructor(g3, delta, sim.Sequential); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablations from DESIGN.md §5 ---
+
+func BenchmarkPowerSumArithmetic(b *testing.B) {
+	ids := make([]int, 64)
+	for i := range ids {
+		ids[i] = i*31 + 7
+	}
+	b.Run("bigint/k=3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			numeric.PowerSums(ids, 3)
+		}
+	})
+	b.Run("uint64/k=3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := numeric.PowerSumsU64(ids, 3); !ok {
+				b.Fatal("unexpected overflow")
+			}
+		}
+	})
+}
+
+func BenchmarkCountFamilies(b *testing.B) {
+	b.Run("sequential/n=6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			collide.Count(6)
+		}
+	})
+	b.Run("parallel/n=6", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			collide.CountParallel(6)
+		}
+	})
+}
+
+func BenchmarkBitCodecs(b *testing.B) {
+	b.Run("fixedwidth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bits.Writer
+			for v := uint64(1); v <= 64; v++ {
+				w.WriteUint(v, 12)
+			}
+		}
+	})
+	b.Run("eliasgamma", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bits.Writer
+			for v := uint64(1); v <= 64; v++ {
+				w.WriteEliasGamma(v)
+			}
+		}
+	})
+	b.Run("eliasdelta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bits.Writer
+			for v := uint64(1); v <= 64; v++ {
+				w.WriteEliasDelta(v)
+			}
+		}
+	})
+}
+
+func BenchmarkCongestRealization(b *testing.B) {
+	g := gen.KTree(gen.NewRand(11), 128, 3)
+	p := &core.DegeneracyProtocol{K: 3}
+	b.Run("abstract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sim.LocalPhase(g, p, sim.Sequential)
+		}
+	})
+	b.Run("congest", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := congest.RunOneRound(g, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSketchBipartiteness(b *testing.B) {
+	n := 32
+	g := gen.Grid(4, 8)
+	sb := sketch.NewSketchBipartiteness(n, 5)
+	tr := sim.LocalPhase(g, sb, sim.Parallel)
+	b.Run("decide", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sb.Decide(n, tr.Messages); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

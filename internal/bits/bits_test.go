@@ -1,0 +1,310 @@
+package bits
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	var w Writer
+	pattern := []int{1, 0, 0, 1, 1, 1, 0, 1, 0, 1} // crosses a byte boundary
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	s := w.String()
+	if s.Len() != len(pattern) {
+		t.Fatalf("len = %d, want %d", s.Len(), len(pattern))
+	}
+	r := NewReader(s)
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if _, err := r.ReadBit(); err == nil {
+		t.Error("read past end should fail")
+	}
+}
+
+func TestWriteUintWidths(t *testing.T) {
+	var w Writer
+	w.WriteUint(5, 3)
+	w.WriteUint(0, 4)
+	w.WriteUint(1<<63, 64)
+	s := w.String()
+	if s.Len() != 3+4+64 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	r := NewReader(s)
+	if v, _ := r.ReadUint(3); v != 5 {
+		t.Errorf("got %d, want 5", v)
+	}
+	if v, _ := r.ReadUint(4); v != 0 {
+		t.Errorf("got %d, want 0", v)
+	}
+	if v, _ := r.ReadUint(64); v != 1<<63 {
+		t.Errorf("got %d, want 1<<63", v)
+	}
+}
+
+func TestWriteUintOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for value too wide")
+		}
+	}()
+	var w Writer
+	w.WriteUint(8, 3)
+}
+
+func TestZeroWidthUint(t *testing.T) {
+	var w Writer
+	w.WriteUint(0, 0)
+	if w.Len() != 0 {
+		t.Error("zero-width write should emit nothing")
+	}
+	r := NewReader(w.String())
+	if v, err := r.ReadUint(0); err != nil || v != 0 {
+		t.Errorf("zero-width read = %d, %v", v, err)
+	}
+}
+
+func TestEliasGammaRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{1, 2, 3, 4, 7, 8, 100, 1 << 20, 1<<40 + 12345}
+	for _, v := range vals {
+		w.WriteEliasGamma(v)
+	}
+	r := NewReader(w.String())
+	for _, want := range vals {
+		got, err := r.ReadEliasGamma()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("gamma round trip: got %d, want %d", got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d trailing bits", r.Remaining())
+	}
+}
+
+func TestEliasGammaLength(t *testing.T) {
+	// gamma(v) takes 2*bitlen(v)-1 bits.
+	for _, v := range []uint64{1, 2, 5, 16, 1000} {
+		var w Writer
+		w.WriteEliasGamma(v)
+		nbits := 0
+		for x := v; x > 0; x >>= 1 {
+			nbits++
+		}
+		if w.Len() != 2*nbits-1 {
+			t.Errorf("gamma(%d) = %d bits, want %d", v, w.Len(), 2*nbits-1)
+		}
+	}
+}
+
+func TestEliasDeltaRoundTrip(t *testing.T) {
+	var w Writer
+	vals := []uint64{1, 2, 3, 10, 64, 65, 1 << 30, 1<<50 + 99}
+	for _, v := range vals {
+		w.WriteEliasDelta(v)
+	}
+	r := NewReader(w.String())
+	for _, want := range vals {
+		got, err := r.ReadEliasDelta()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("delta round trip: got %d, want %d", got, want)
+		}
+	}
+}
+
+func TestBigIntRoundTrip(t *testing.T) {
+	vals := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(255),
+		new(big.Int).Lsh(big.NewInt(1), 100),
+		new(big.Int).SetBytes([]byte{0xde, 0xad, 0xbe, 0xef, 0x12, 0x34, 0x56, 0x78, 0x9a}),
+	}
+	var w Writer
+	for _, v := range vals {
+		w.WriteBigInt(v)
+	}
+	r := NewReader(w.String())
+	for _, want := range vals {
+		got, err := r.ReadBigInt()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(want) != 0 {
+			t.Errorf("big int round trip: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBigIntWidthRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		width := 1 + rng.Intn(200)
+		v := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(width)))
+		var w Writer
+		w.WriteBigIntWidth(v, width)
+		if w.Len() != width {
+			t.Fatalf("width write emitted %d bits, want %d", w.Len(), width)
+		}
+		got, err := NewReader(w.String()).ReadBigIntWidth(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(v) != 0 {
+			t.Fatalf("got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromBits(1, 0, 1)
+	b := FromBits(1, 1)
+	c := Concat(a, b)
+	if c.Len() != 5 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	want := []int{1, 0, 1, 1, 1}
+	for i, wb := range want {
+		if c.Bit(i) != wb {
+			t.Errorf("bit %d = %d, want %d", i, c.Bit(i), wb)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !FromBits(1, 0, 1).Equal(FromBits(1, 0, 1)) {
+		t.Error("equal strings compare unequal")
+	}
+	if FromBits(1, 0).Equal(FromBits(1, 0, 0)) {
+		t.Error("prefix compares equal to longer string")
+	}
+	if FromBits(1, 0).Equal(FromBits(0, 1)) {
+		t.Error("different strings compare equal")
+	}
+}
+
+func TestStringRender(t *testing.T) {
+	if got := FromBits(1, 0, 1, 1).String(); got != "1011" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestWidth(t *testing.T) {
+	cases := []struct{ max, want int }{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4}, {1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := Width(c.max); got != c.want {
+			t.Errorf("Width(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestQuickUintRoundTrip(t *testing.T) {
+	f := func(v uint64, shift uint8) bool {
+		width := int(shift%64) + 1
+		v &= (1<<uint(width) - 1) | (1<<uint(width) - 1) // mask into width bits
+		v &= ^uint64(0) >> (64 - uint(width))
+		var w Writer
+		w.WriteUint(v, width)
+		got, err := NewReader(w.String()).ReadUint(width)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGammaDeltaAgree(t *testing.T) {
+	f := func(v uint64) bool {
+		if v == 0 {
+			v = 1
+		}
+		var wg, wd Writer
+		wg.WriteEliasGamma(v)
+		wd.WriteEliasDelta(v)
+		g, err1 := NewReader(wg.String()).ReadEliasGamma()
+		d, err2 := NewReader(wd.String()).ReadEliasDelta()
+		return err1 == nil && err2 == nil && g == v && d == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	r := NewReader(FromBits(0, 0, 0))
+	if _, err := r.ReadEliasGamma(); err == nil {
+		t.Error("all-zero prefix should not decode as gamma")
+	}
+	r2 := NewReader(FromBits(1, 1))
+	if _, err := r2.ReadUint(5); err == nil {
+		t.Error("short read should fail")
+	}
+	r3 := NewReader(String{})
+	if _, err := r3.ReadBigInt(); err == nil {
+		t.Error("empty big int read should fail")
+	}
+}
+
+func TestBytesPadding(t *testing.T) {
+	s := FromBits(1, 0, 1) // 3 bits → 1 byte, MSB first
+	b := s.Bytes()
+	if len(b) != 1 || b[0] != 0b10100000 {
+		t.Errorf("bytes = %08b", b)
+	}
+	// Mutating the copy must not affect the string.
+	b[0] = 0
+	if s.Bit(0) != 1 {
+		t.Error("Bytes returned aliased storage")
+	}
+}
+
+func TestBitOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromBits(1).Bit(5)
+}
+
+func TestWriteBigIntWidthTooNarrowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	var w Writer
+	w.WriteBigIntWidth(big.NewInt(255), 4)
+}
+
+func TestReadEliasDeltaCorrupt(t *testing.T) {
+	// Delta length prefix of 0 zeros then truncated payload.
+	r := NewReader(FromBits(0, 1, 1)) // gamma(len)=? 0,1 → len 2? then needs 1 more bit: have 1. ok
+	if _, err := r.ReadEliasDelta(); err != nil {
+		t.Skip("this prefix happens to decode; corrupt case below")
+	}
+	r2 := NewReader(FromBits(0, 0, 1, 0, 1))
+	if _, err := r2.ReadEliasDelta(); err == nil {
+		// gamma = 5 → needs 4 more bits, have 0 → must error
+		t.Error("truncated delta should fail")
+	}
+}

@@ -1,0 +1,114 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomString(rng *rand.Rand, maxBits int) String {
+	var w Writer
+	n := rng.Intn(maxBits + 1)
+	for i := 0; i < n; i++ {
+		w.WriteBit(rng.Intn(2))
+	}
+	return w.String()
+}
+
+func TestEncodeDecodePartsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 100; trial++ {
+		count := rng.Intn(6)
+		parts := make([]String, count)
+		for i := range parts {
+			parts[i] = randomString(rng, 40)
+		}
+		enc := EncodeParts(parts...)
+		dec, err := DecodeParts(enc, count)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range parts {
+			if !dec[i].Equal(parts[i]) {
+				t.Fatalf("trial %d part %d: %s != %s", trial, i, dec[i], parts[i])
+			}
+		}
+	}
+}
+
+func TestDecodePartsEmptyParts(t *testing.T) {
+	enc := EncodeParts(String{}, String{}, FromBits(1))
+	dec, err := DecodeParts(enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].Len() != 0 || dec[1].Len() != 0 || dec[2].Len() != 1 {
+		t.Errorf("lengths %d %d %d", dec[0].Len(), dec[1].Len(), dec[2].Len())
+	}
+}
+
+func TestDecodePartsWrongCount(t *testing.T) {
+	enc := EncodeParts(FromBits(1, 0), FromBits(1))
+	if _, err := DecodeParts(enc, 3); err == nil {
+		t.Error("asking for too many parts should fail")
+	}
+	if _, err := DecodeParts(enc, 1); err == nil {
+		t.Error("trailing bits should fail")
+	}
+}
+
+func TestDecodePartsCorrupt(t *testing.T) {
+	// An all-zero prefix is not a valid gamma code.
+	if _, err := DecodeParts(FromBits(0, 0, 0, 0), 1); err == nil {
+		t.Error("corrupt framing should fail")
+	}
+	// A length prefix pointing past the end.
+	var w Writer
+	w.WriteEliasGamma(100) // claims a 99-bit part
+	w.WriteBit(1)
+	if _, err := DecodeParts(w.String(), 1); err == nil {
+		t.Error("overlong length should fail")
+	}
+}
+
+func TestFramingOverheadLogarithmic(t *testing.T) {
+	// Framing a b-bit part costs 2·bitlen(b+1)-1 extra bits.
+	for _, b := range []int{0, 1, 7, 64, 1000} {
+		part := make1bits(b)
+		enc := EncodeParts(part)
+		overhead := enc.Len() - b
+		limit := 2*Width(b+1) + 1
+		if overhead > limit {
+			t.Errorf("b=%d: overhead %d exceeds %d", b, overhead, limit)
+		}
+	}
+}
+
+func make1bits(n int) String {
+	var w Writer
+	for i := 0; i < n; i++ {
+		w.WriteBit(1)
+	}
+	return w.String()
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(a, b uint16, c uint8) bool {
+		var wa, wb, wc Writer
+		wa.WriteUint(uint64(a), 16)
+		wb.WriteUint(uint64(b), 16)
+		wc.WriteUint(uint64(c), 8)
+		enc := EncodeParts(wa.String(), wb.String(), wc.String())
+		dec, err := DecodeParts(enc, 3)
+		if err != nil {
+			return false
+		}
+		ra, _ := NewReader(dec[0]).ReadUint(16)
+		rb, _ := NewReader(dec[1]).ReadUint(16)
+		rc, _ := NewReader(dec[2]).ReadUint(8)
+		return ra == uint64(a) && rb == uint64(b) && rc == uint64(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+// Package collide is the empirical side of the paper's lower bounds. Lemma 1
+// and Theorems 1–3 are pigeonhole arguments: a frugal one-round protocol
+// hands the referee too few bits to tell large graph families apart. For
+// small n this package exhibits the pigeonhole concretely — it enumerates
+// every labelled graph, counts families exactly, and finds explicit
+// *collision certificates*: pairs of graphs with identical message vectors
+// but different answers to "has a square?", "has a triangle?", "diam ≤ 3?"
+// or "connected?", which witnesses that a given frugal protocol fails.
+package collide
+
+import (
+	"fmt"
+
+	"refereenet/internal/graph"
+)
+
+// MaxEnumerationN bounds exhaustive enumeration: C(8,2) = 28 edge bits is
+// 2.7·10⁸ graphs, beyond the budget of a test suite; 7 (2 097 152 graphs)
+// is the practical ceiling.
+const MaxEnumerationN = 7
+
+// EnumerateGraphs calls visit on every labelled graph with vertex set
+// {1..n}, in edge-mask order, stopping early if visit returns false.
+// It panics for n > MaxEnumerationN.
+func EnumerateGraphs(n int, visit func(mask uint64, g *graph.Graph) bool) {
+	if n > MaxEnumerationN {
+		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
+	}
+	total := uint(n * (n - 1) / 2)
+	for mask := uint64(0); mask < 1<<total; mask++ {
+		if !visit(mask, graph.FromEdgeMask(n, mask)) {
+			return
+		}
+	}
+}
+
+// CountGraphs returns the number of labelled graphs on n vertices satisfying
+// pred.
+func CountGraphs(n int, pred func(*graph.Graph) bool) uint64 {
+	var count uint64
+	EnumerateGraphs(n, func(_ uint64, g *graph.Graph) bool {
+		if pred(g) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// FamilyCounts collects the exact sizes of the families the paper's
+// counting arguments use, for one n.
+type FamilyCounts struct {
+	N          int
+	All        uint64 // 2^C(n,2)
+	SquareFree uint64 // Theorem 1's family
+	Bipartite  uint64 // bipartite with fixed parts {1..n/2}, {n/2+1..n} (Theorem 3)
+	Forests    uint64 // degeneracy ≤ 1 (reconstructible)
+	Degen2     uint64 // degeneracy ≤ 2 (reconstructible)
+	Connected  uint64 // the open question's family
+}
+
+// Count computes all family counts for n ≤ MaxEnumerationN by enumeration.
+func Count(n int) FamilyCounts {
+	fc := FamilyCounts{N: n}
+	half := n / 2
+	EnumerateGraphs(n, func(_ uint64, g *graph.Graph) bool {
+		fc.All++
+		if !g.HasSquare() {
+			fc.SquareFree++
+		}
+		if isBipartiteWithParts(g, half) {
+			fc.Bipartite++
+		}
+		if g.IsForest() {
+			fc.Forests++
+		}
+		if d, _ := g.Degeneracy(); d <= 2 {
+			fc.Degen2++
+		}
+		if g.IsConnected() {
+			fc.Connected++
+		}
+		return true
+	})
+	return fc
+}
+
+// isBipartiteWithParts reports whether all edges cross between {1..half} and
+// {half+1..n} — the fixed-parts bipartite family of Theorem 3.
+func isBipartiteWithParts(g *graph.Graph, half int) bool {
+	for _, e := range g.Edges() {
+		if (e[0] <= half) == (e[1] <= half) {
+			return false
+		}
+	}
+	return true
+}

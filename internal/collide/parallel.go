@@ -1,0 +1,74 @@
+package collide
+
+import (
+	"runtime"
+	"sync"
+
+	"refereenet/internal/graph"
+)
+
+// CountParallel computes FamilyCounts like Count, fanning the enumeration
+// out over all CPUs by partitioning the edge-mask space. Enumeration at
+// n = 7 visits 2,097,152 graphs; the shards are embarrassingly parallel and
+// merge by addition.
+func CountParallel(n int) FamilyCounts {
+	if n > MaxEnumerationN {
+		panic("collide: n exceeds enumeration bound")
+	}
+	total := uint64(1) << uint(n*(n-1)/2)
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	if uint64(workers) > total {
+		workers = int(total)
+	}
+	half := n / 2
+	results := make([]FamilyCounts, workers)
+	var wg sync.WaitGroup
+	chunk := total / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if w == workers-1 {
+			hi = total
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			var fc FamilyCounts
+			fc.N = n
+			for mask := lo; mask < hi; mask++ {
+				g := graph.FromEdgeMask(n, mask)
+				fc.All++
+				if !g.HasSquare() {
+					fc.SquareFree++
+				}
+				if isBipartiteWithParts(g, half) {
+					fc.Bipartite++
+				}
+				if g.IsForest() {
+					fc.Forests++
+				}
+				if d, _ := g.Degeneracy(); d <= 2 {
+					fc.Degen2++
+				}
+				if g.IsConnected() {
+					fc.Connected++
+				}
+			}
+			results[w] = fc
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := FamilyCounts{N: n}
+	for _, fc := range results {
+		out.All += fc.All
+		out.SquareFree += fc.SquareFree
+		out.Bipartite += fc.Bipartite
+		out.Forests += fc.Forests
+		out.Degen2 += fc.Degen2
+		out.Connected += fc.Connected
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package collide
+
+import (
+	"fmt"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/numeric"
+	"refereenet/internal/sim"
+)
+
+// Strawman protocols: plausible frugal local functions. None of them can
+// decide the paper's hard predicates — the theorems say no frugal local
+// function can — and the collision search finds concrete witnesses.
+
+// Strawman couples a local function with a name and its per-node bit budget
+// as a function of n.
+type Strawman struct {
+	Label string
+	Bits  func(n int) int
+	Local sim.Local
+}
+
+// localFunc adapts a function literal to sim.Local.
+type localFunc func(n, id int, nbrs []int) bits.String
+
+func (f localFunc) LocalMessage(n, id int, nbrs []int) bits.String { return f(n, id, nbrs) }
+
+// DegreeOnly sends just deg(v) — the weakest plausible sketch.
+func DegreeOnly() Strawman {
+	return Strawman{
+		Label: "degree",
+		Bits:  func(n int) int { return bits.Width(n) },
+		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+			var w bits.Writer
+			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
+			return w.String()
+		}),
+	}
+}
+
+// DegreeSum sends (deg, Σ neighbor IDs) — the forest protocol's message,
+// which reconstructs forests but is far too weak for general graphs.
+func DegreeSum() Strawman {
+	return Strawman{
+		Label: "degree+sum",
+		Bits:  func(n int) int { return bits.Width(n) + numeric.MaxPowerSumBits(n, 1) },
+		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+			var w bits.Writer
+			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
+			sum := uint64(0)
+			for _, x := range nbrs {
+				sum += uint64(x)
+			}
+			w.WriteUint(sum, numeric.MaxPowerSumBits(n, 1))
+			return w.String()
+		}),
+	}
+}
+
+// PowerSums sends deg plus the first k power sums — the degeneracy
+// protocol's message. Reconstructs degeneracy-≤k graphs; the collision
+// search shows it still cannot decide squares/triangles/diameter on
+// *arbitrary* graphs, which is exactly the boundary the paper draws.
+func PowerSums(k int) Strawman {
+	return Strawman{
+		Label: fmt.Sprintf("powersums[k=%d]", k),
+		Bits: func(n int) int {
+			total := bits.Width(n)
+			for q := 1; q <= k; q++ {
+				total += numeric.MaxPowerSumBits(n, q)
+			}
+			return total
+		},
+		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+			var w bits.Writer
+			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
+			sums := numeric.PowerSums(nbrs, k)
+			for q := 1; q <= k; q++ {
+				w.WriteBigIntWidth(sums[q-1], numeric.MaxPowerSumBits(n, q))
+			}
+			return w.String()
+		}),
+	}
+}
+
+// HashSketch sends a b-bit FNV-1a hash of the (id, neighborhood) pair — the
+// "maybe a clever fingerprint escapes the counting bound" strawman. It
+// cannot: with n·b bits total the referee still distinguishes at most 2^{nb}
+// graphs.
+func HashSketch(b int) Strawman {
+	return Strawman{
+		Label: fmt.Sprintf("hash[%db]", b),
+		Bits:  func(int) int { return b },
+		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+			h := uint64(fnvOffset)
+			h = fnvMix(h, uint64(id))
+			for _, x := range nbrs {
+				h = fnvMix(h, uint64(x))
+			}
+			var w bits.Writer
+			w.WriteUint(h&(1<<uint(b)-1), b)
+			return w.String()
+		}),
+	}
+}
+
+// NeighborhoodMod sends deg and Σ neighbor IDs mod a small prime — a lossy
+// variant of DegreeSum that stays within strictly fewer bits.
+func NeighborhoodMod(p uint64) Strawman {
+	width := bits.Width(int(p - 1))
+	return Strawman{
+		Label: fmt.Sprintf("mod[%d]", p),
+		Bits:  func(n int) int { return bits.Width(n) + width },
+		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+			var w bits.Writer
+			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
+			sum := uint64(0)
+			for _, x := range nbrs {
+				sum = (sum + uint64(x)) % p
+			}
+			w.WriteUint(sum, width)
+			return w.String()
+		}),
+	}
+}
+
+// TruncatedSum sends (deg mod 2^degBits, Σ neighbors mod 2^sumBits): a
+// deliberately capacity-starved sketch for exhibiting the pigeonhole at
+// enumerable n.
+func TruncatedSum(degBits, sumBits int) Strawman {
+	return Strawman{
+		Label: fmt.Sprintf("trunc[%d+%db]", degBits, sumBits),
+		Bits:  func(int) int { return degBits + sumBits },
+		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+			var w bits.Writer
+			w.WriteUint(uint64(len(nbrs))&(1<<uint(degBits)-1), degBits)
+			sum := uint64(0)
+			for _, x := range nbrs {
+				sum += uint64(x)
+			}
+			w.WriteUint(sum&(1<<uint(sumBits)-1), sumBits)
+			return w.String()
+		}),
+	}
+}
+
+// WeakStrawmen is the lineup used by the forced-collision experiments: each
+// protocol's total capacity n·b is comparable to or below log₂ of the family
+// sizes at enumerable n, so the Lemma 1 pigeonhole actually bites there.
+//
+// This calibration matters: at n ≤ 7, a frugal budget of c·log₂ n bits per
+// node dwarfs the C(n,2) ≤ 21 bits of entropy in the whole graph, so honest
+// O(log n) protocols (DegreeSum, PowerSums) do NOT collide on tiny graphs —
+// the paper's impossibility is intrinsically asymptotic, which is precisely
+// why Theorems 1–3 argue by counting instead of by enumeration.
+func WeakStrawmen() []Strawman {
+	return []Strawman{
+		DegreeOnly(),
+		HashSketch(2),
+		HashSketch(3),
+		NeighborhoodMod(3),
+		TruncatedSum(1, 2),
+	}
+}
+
+// StrongStrawmen are honest Θ(log n)-bit protocols. On enumerable n they
+// have spare capacity and typically produce collision-free message vectors;
+// they exist to document that boundary (experiment E8 reports both sets).
+func StrongStrawmen() []Strawman {
+	return []Strawman{
+		DegreeSum(),
+		PowerSums(2),
+		PowerSums(3),
+		HashSketch(16),
+		NeighborhoodMod(7),
+		NeighborhoodMod(257),
+	}
+}
+
+const fnvOffset = uint64(14695981039346656037)
+
+func fnvMix(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h ^= (v >> uint(8*i)) & 0xff
+		h *= prime
+	}
+	// Separator byte so (1,2) and (12) hash differently.
+	h ^= 0xff
+	h *= prime
+	return h
+}

@@ -1,0 +1,69 @@
+package congest
+
+import (
+	"refereenet/internal/bits"
+)
+
+// BFSNode is a reference CONGEST protocol: distributed BFS by flooding from
+// a root. Each node learns its BFS distance and parent; messages carry the
+// sender's distance (⌈log n⌉+1 bits). It is the standard substrate sanity
+// check for the engine, and its traffic profile (O(log n) bits per link in
+// total) is an example of a frugal computation in the Grumbach–Wu sense.
+type BFSNode struct {
+	Root int
+
+	id        int
+	n         int
+	neighbors []int
+	dist      int
+	parent    int
+	announced bool
+}
+
+// Dist returns the BFS distance learned, or -1 if unreached.
+func (b *BFSNode) Dist() int { return b.dist }
+
+// Parent returns the BFS parent learned, or 0 for the root / unreached.
+func (b *BFSNode) Parent() int { return b.parent }
+
+// Init implements Node.
+func (b *BFSNode) Init(n, id int, neighbors []int) []Message {
+	b.id, b.n, b.neighbors = id, n, neighbors
+	b.dist, b.parent = -1, 0
+	if id == b.Root {
+		b.dist = 0
+	}
+	return nil
+}
+
+// Round implements Node: on first learning a distance, announce dist to all
+// neighbors once, then halt when nothing new can arrive.
+func (b *BFSNode) Round(round int, inbox []Message) ([]Message, bool) {
+	for _, m := range inbox {
+		r := bits.NewReader(m.Payload)
+		d64, err := r.ReadUint(bits.Width(b.n) + 1)
+		if err != nil {
+			continue
+		}
+		d := int(d64)
+		if b.dist < 0 || d+1 < b.dist {
+			b.dist = d + 1
+			b.parent = m.From
+		}
+	}
+	if b.dist >= 0 && !b.announced {
+		b.announced = true
+		var w bits.Writer
+		w.WriteUint(uint64(b.dist), bits.Width(b.n)+1)
+		payload := w.String()
+		out := make([]Message, 0, len(b.neighbors))
+		for _, nb := range b.neighbors {
+			out = append(out, Message{From: b.id, To: nb, Payload: payload})
+		}
+		return out, false
+	}
+	// Halt once announced and the frontier has passed (no further inbox can
+	// improve a settled BFS distance in an unweighted graph after it has
+	// been announced and one extra round has elapsed).
+	return nil, b.announced
+}

@@ -1,0 +1,128 @@
+package congest
+
+import (
+	"fmt"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/graph"
+	"refereenet/internal/sim"
+)
+
+// StarNetwork builds the paper's interconnection network 𝒢 = G ∪ {v₀}: the
+// input graph plus a universal referee node v₀ adjacent to every vertex.
+// The referee gets ID n+1.
+func StarNetwork(g *graph.Graph) (*graph.Graph, int) {
+	n := g.N()
+	h := graph.New(n + 1)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	for v := 1; v <= n; v++ {
+		h.AddEdge(v, n+1)
+	}
+	return h, n + 1
+}
+
+// workerNode plays an ordinary node of G: in round 1 it sends its one-round
+// protocol message to the referee and halts. Its CONGEST neighborhood
+// includes the referee, which it must strip before invoking the local
+// function — the model's nodes know N_G(v), not N_𝒢(v).
+type workerNode struct {
+	protocol  sim.Local
+	refereeID int
+	msg       Message
+}
+
+func (w *workerNode) Init(n, id int, neighbors []int) []Message {
+	// n here is |𝒢| = |G|+1; the protocol's n is |G|.
+	gn := n - 1
+	gNbrs := make([]int, 0, len(neighbors)-1)
+	for _, x := range neighbors {
+		if x != w.refereeID {
+			gNbrs = append(gNbrs, x)
+		}
+	}
+	payload := w.protocol.LocalMessage(gn, id, gNbrs)
+	w.msg = Message{From: id, To: w.refereeID, Payload: payload}
+	return nil
+}
+
+func (w *workerNode) Round(round int, _ []Message) ([]Message, bool) {
+	if round == 1 {
+		return []Message{w.msg}, true
+	}
+	return nil, true
+}
+
+// refereeNode collects one message from every node (the engine delivers all
+// of round 1's sends at the start of round 2) and runs the global function.
+type refereeNode struct {
+	n        int
+	messages []bits.String
+	received int
+	done     bool
+}
+
+func (r *refereeNode) Init(n, id int, neighbors []int) []Message {
+	r.n = n - 1
+	r.messages = make([]bits.String, r.n)
+	return nil
+}
+
+func (r *refereeNode) Round(round int, inbox []Message) ([]Message, bool) {
+	for _, m := range inbox {
+		if m.From < 1 || m.From > r.n {
+			continue
+		}
+		r.messages[m.From-1] = m.Payload
+		r.received++
+	}
+	if r.received >= r.n {
+		r.done = true
+		return nil, true
+	}
+	return nil, false
+}
+
+// RunOneRound executes a one-round referee protocol as a real CONGEST
+// execution on the star-augmented network and returns the referee's message
+// vector plus the engine (for traffic accounting). The vector is, message
+// for message, what sim.LocalPhase produces — the restriction the paper
+// describes, realized.
+func RunOneRound(g *graph.Graph, p sim.Local) ([]bits.String, *Engine, error) {
+	star, refID := StarNetwork(g)
+	eng := NewEngine(star)
+	ref := &refereeNode{}
+	for v := 1; v <= g.N(); v++ {
+		eng.Assign(v, &workerNode{protocol: p, refereeID: refID})
+	}
+	eng.Assign(refID, ref)
+	if _, err := eng.Run(4); err != nil {
+		return nil, eng, err
+	}
+	if !ref.done {
+		return nil, eng, fmt.Errorf("congest: referee received %d of %d messages", ref.received, ref.n)
+	}
+	return ref.messages, eng, nil
+}
+
+// RunReconstructor drives a full reconstruction protocol over the CONGEST
+// realization.
+func RunReconstructor(g *graph.Graph, r sim.Reconstructor) (*graph.Graph, *Engine, error) {
+	msgs, eng, err := RunOneRound(g, r)
+	if err != nil {
+		return nil, eng, err
+	}
+	h, err := r.Reconstruct(g.N(), msgs)
+	return h, eng, err
+}
+
+// RunDecider drives a full decision protocol over the CONGEST realization.
+func RunDecider(g *graph.Graph, d sim.Decider) (bool, *Engine, error) {
+	msgs, eng, err := RunOneRound(g, d)
+	if err != nil {
+		return false, eng, err
+	}
+	ans, err := d.Decide(g.N(), msgs)
+	return ans, eng, err
+}

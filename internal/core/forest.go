@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/graph"
+	"refereenet/internal/numeric"
+	"refereenet/internal/sim"
+)
+
+// ForestProtocol is the paper's warm-up protocol (§III.A, the k = 1 case):
+// each vertex v sends the triple
+//
+//	(ID(v), deg_T(v), Σ_{w∈N(v)} ID(w))
+//
+// in under 4·log n bits, and the referee reconstructs the forest by
+// repeatedly pruning a leaf — the sum field of a degree-1 vertex *is* its
+// unique neighbor's identifier, so no algebra is needed.
+//
+// It is operationally the same pruning as DegeneracyProtocol{K:1} but kept
+// separate because its decoder is the paper's direct argument rather than
+// the power-sum machinery, and because its transcript realizes the "< 4 log n
+// bits" claim exactly.
+type ForestProtocol struct{}
+
+// Name implements sim.Named.
+func (ForestProtocol) Name() string { return "forest" }
+
+// MessageBits returns the exact message size on n-node graphs.
+func (ForestProtocol) MessageBits(n int) int {
+	return 2*bits.Width(n) + numeric.MaxPowerSumBits(n, 1)
+}
+
+// LocalMessage sends (ID, degree, sum of neighbor IDs) at fixed widths.
+func (ForestProtocol) LocalMessage(n, id int, nbrs []int) bits.String {
+	w := bits.Width(n)
+	sumW := numeric.MaxPowerSumBits(n, 1)
+	sum := uint64(0)
+	for _, x := range nbrs {
+		sum += uint64(x)
+	}
+	var out bits.Writer
+	out.WriteUint(uint64(id), w)
+	out.WriteUint(uint64(len(nbrs)), w)
+	out.WriteUint(sum, sumW)
+	return out.String()
+}
+
+// Reconstruct prunes leaves: a degree-1 vertex's sum field names its
+// neighbor; remove the leaf and update the neighbor's (degree, sum). It
+// reports an error if the messages are inconsistent with a forest — which is
+// exactly how the referee "decides whether the graph contains a cycle".
+func (ForestProtocol) Reconstruct(n int, msgs []bits.String) (*graph.Graph, error) {
+	if len(msgs) != n {
+		return nil, fmt.Errorf("core: %d messages for n=%d", len(msgs), n)
+	}
+	w := bits.Width(n)
+	sumW := numeric.MaxPowerSumBits(n, 1)
+	deg := make([]int, n+1)
+	sum := make([]uint64, n+1)
+	for i, m := range msgs {
+		r := bits.NewReader(m)
+		id, err := r.ReadUint(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: message %d: %w", i+1, err)
+		}
+		if int(id) != i+1 {
+			return nil, fmt.Errorf("core: message %d claims ID %d", i+1, id)
+		}
+		d, err := r.ReadUint(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: message %d: %w", i+1, err)
+		}
+		s, err := r.ReadUint(sumW)
+		if err != nil {
+			return nil, fmt.Errorf("core: message %d: %w", i+1, err)
+		}
+		if r.Remaining() != 0 {
+			return nil, fmt.Errorf("core: message %d has trailing bits", i+1)
+		}
+		deg[i+1], sum[i+1] = int(d), s
+	}
+	h := graph.New(n)
+	processed := make([]bool, n+1)
+	var stack []int
+	for v := 1; v <= n; v++ {
+		if deg[v] <= 1 {
+			stack = append(stack, v)
+		}
+	}
+	remaining := n
+	for remaining > 0 {
+		x := 0
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if !processed[c] && deg[c] <= 1 {
+				x = c
+				break
+			}
+		}
+		if x == 0 {
+			return nil, fmt.Errorf("core: leaf pruning stuck with %d vertices: the graph contains a cycle: %w", remaining, ErrDegeneracyExceeded)
+		}
+		if deg[x] == 1 {
+			nb := int(sum[x])
+			if nb < 1 || nb > n || nb == x || processed[nb] {
+				return nil, fmt.Errorf("core: vertex %d names invalid neighbor %d", x, nb)
+			}
+			if err := h.AddEdgeErr(x, nb); err != nil {
+				return nil, err
+			}
+			deg[nb]--
+			sum[nb] -= uint64(x)
+			if deg[nb] <= 1 {
+				stack = append(stack, nb)
+			}
+		} else if sum[x] != 0 {
+			return nil, fmt.Errorf("core: isolated vertex %d has nonzero sum", x)
+		}
+		processed[x] = true
+		remaining--
+	}
+	if err := verifyEncoding(ForestProtocol{}, n, h, msgs); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+var (
+	_ sim.Reconstructor = ForestProtocol{}
+	_ sim.Named         = ForestProtocol{}
+)
+
+// BoundedDegreeProtocol is the protocol from the paper's footnote 1: when
+// the network has maximum degree ≤ D, every node simply sends its entire
+// neighbor list ((D+1)·⌈log₂(n+1)⌉ bits) and the referee rebuilds the graph
+// verbatim. It is the baseline the degeneracy protocol strictly generalizes:
+// a star has unbounded degree but degeneracy 1.
+type BoundedDegreeProtocol struct{ D int }
+
+// Name implements sim.Named.
+func (p BoundedDegreeProtocol) Name() string { return fmt.Sprintf("bounded-degree[d=%d]", p.D) }
+
+// LocalMessage sends deg(v) then the raw neighbor list. Nodes of degree
+// greater than D truncate — the referee will detect the inconsistency.
+func (p BoundedDegreeProtocol) LocalMessage(n, id int, nbrs []int) bits.String {
+	w := bits.Width(n)
+	var out bits.Writer
+	d := len(nbrs)
+	if d > p.D {
+		d = p.D
+	}
+	out.WriteUint(uint64(len(nbrs)), w)
+	for _, x := range nbrs[:d] {
+		out.WriteUint(uint64(x), w)
+	}
+	return out.String()
+}
+
+// Reconstruct rebuilds the graph and errors when any node exceeded degree D
+// or the endpoints disagree about an edge.
+func (p BoundedDegreeProtocol) Reconstruct(n int, msgs []bits.String) (*graph.Graph, error) {
+	if len(msgs) != n {
+		return nil, fmt.Errorf("core: %d messages for n=%d", len(msgs), n)
+	}
+	w := bits.Width(n)
+	adj := make([][]int, n+1)
+	for i, m := range msgs {
+		r := bits.NewReader(m)
+		d64, err := r.ReadUint(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: message %d: %w", i+1, err)
+		}
+		if int(d64) > p.D {
+			return nil, fmt.Errorf("core: vertex %d has degree %d > %d", i+1, d64, p.D)
+		}
+		for j := 0; j < int(d64); j++ {
+			x, err := r.ReadUint(w)
+			if err != nil {
+				return nil, fmt.Errorf("core: message %d entry %d: %w", i+1, j, err)
+			}
+			if x < 1 || int(x) > n || int(x) == i+1 {
+				return nil, fmt.Errorf("core: vertex %d lists invalid neighbor %d", i+1, x)
+			}
+			adj[i+1] = append(adj[i+1], int(x))
+		}
+		if r.Remaining() != 0 {
+			return nil, fmt.Errorf("core: message %d has trailing bits", i+1)
+		}
+	}
+	h := graph.New(n)
+	for v := 1; v <= n; v++ {
+		for _, u := range adj[v] {
+			if v < u {
+				if err := h.AddEdgeErr(v, u); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Symmetry check: every listed edge must be confirmed by both endpoints.
+	for v := 1; v <= n; v++ {
+		for _, u := range adj[v] {
+			if !h.HasEdge(v, u) {
+				return nil, fmt.Errorf("core: edge {%d,%d} asserted by one endpoint only", v, u)
+			}
+		}
+		if h.Degree(v) != len(adj[v]) {
+			return nil, fmt.Errorf("core: vertex %d degree mismatch", v)
+		}
+	}
+	return h, nil
+}
+
+var _ sim.Reconstructor = BoundedDegreeProtocol{}

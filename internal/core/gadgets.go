@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"refereenet/internal/graph"
+)
+
+// This file materializes the auxiliary graphs G'_{s,t} from the proofs of
+// Theorems 1–3. The reductions never build them (that is the point: the
+// original nodes' messages must not depend on s,t), but the experiments do,
+// to verify the gadget properties the proofs rely on:
+//
+//	square   (Thm 1): G'_{s,t} has a C4       ⟺ {s,t} ∈ E(G), for square-free G
+//	diameter (Thm 2): diam(G'_{s,t}) ≤ 3      ⟺ {s,t} ∈ E(G), for any G
+//	triangle (Thm 3): G'_{s,t} has a triangle ⟺ {s,t} ∈ E(G), for bipartite G
+
+// SquareGadget builds the Theorem 1 graph on 2n vertices: G, plus a pendant
+// i+n for every i, plus the single edge {n+s, n+t}. A square through the new
+// edge exists exactly when s ~ t in G.
+func SquareGadget(g *graph.Graph, s, t int) *graph.Graph {
+	n := g.N()
+	checkPair(n, s, t)
+	h := graph.New(2 * n)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	for i := 1; i <= n; i++ {
+		h.AddEdge(i, n+i)
+	}
+	h.AddEdge(n+s, n+t)
+	return h
+}
+
+// DiameterGadget builds the Theorem 2 / Figure 1 graph on n+3 vertices:
+// G, plus n+1 attached to s, n+2 attached to t, and a universal-over-G
+// vertex n+3. Distances within G collapse to ≤ 2 via n+3; the only pair that
+// can reach distance 4 is (n+1, n+2), and it does exactly when {s,t} ∉ E.
+func DiameterGadget(g *graph.Graph, s, t int) *graph.Graph {
+	n := g.N()
+	checkPair(n, s, t)
+	h := graph.New(n + 3)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	h.AddEdge(s, n+1)
+	h.AddEdge(t, n+2)
+	for v := 1; v <= n; v++ {
+		h.AddEdge(v, n+3)
+	}
+	return h
+}
+
+// TriangleGadget builds the Theorem 3 / Figure 2 graph on n+1 vertices:
+// G plus one vertex adjacent to s and t. For triangle-free (e.g. bipartite)
+// G, the gadget has a triangle exactly when {s,t} ∈ E.
+func TriangleGadget(g *graph.Graph, s, t int) *graph.Graph {
+	n := g.N()
+	checkPair(n, s, t)
+	h := graph.New(n + 1)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	h.AddEdge(s, n+1)
+	h.AddEdge(t, n+1)
+	return h
+}
+
+func checkPair(n, s, t int) {
+	if s < 1 || s > n || t < 1 || t > n || s == t {
+		panic(fmt.Sprintf("core: invalid pair (%d,%d) for n=%d", s, t, n))
+	}
+}
+
+// Figure1Base returns a 7-vertex graph standing in for the circled graph G
+// of Figure 1 (the paper's figure illustrates the construction; its exact
+// edge set is not recoverable from the text, so this is a representative
+// connected 7-vertex graph in which {1,7} is NOT an edge — the interesting
+// case, where the gadget has diameter 4).
+func Figure1Base() *graph.Graph {
+	return graph.MustFromEdges(7, [][2]int{
+		{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {2, 5}, {3, 6},
+	})
+}
+
+// Figure1Gadget returns G'_{1,7} for the Figure1Base graph: vertices 8, 9
+// attached to 1 and 7, vertex 10 universal over 1..7 — matching the figure's
+// "adding vertices 8 to 10".
+func Figure1Gadget() *graph.Graph { return DiameterGadget(Figure1Base(), 1, 7) }
+
+// Figure2Base returns a 7-vertex bipartite graph standing in for the circled
+// graph of Figure 2, with parts {1,2,3} ∪ {4,5,6,7} and {2,7} an edge, so
+// the gadget contains a triangle.
+func Figure2Base() *graph.Graph {
+	return graph.MustFromEdges(7, [][2]int{
+		{1, 4}, {1, 5}, {2, 5}, {2, 7}, {3, 6}, {3, 7},
+	})
+}
+
+// Figure2Gadget returns G'_{2,7} for the Figure2Base graph: vertex 8
+// adjacent to 2 and 7, matching the figure's "adding vertex 8".
+func Figure2Gadget() *graph.Graph { return TriangleGadget(Figure2Base(), 2, 7) }

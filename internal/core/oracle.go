@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/graph"
+	"refereenet/internal/sim"
+)
+
+// OracleDecider is the hypothetical protocol Γ that the paper's reduction
+// theorems quantify over. It is exact but *not frugal*: every node ships its
+// whole adjacency row (n bits), the referee rebuilds G and evaluates the
+// predicate. Plugging it into the reductions validates the constructions of
+// Theorems 1–3 end to end; plugging a frugal strawman in instead produces
+// wrong reconstructions — which is the theorem.
+type OracleDecider struct {
+	Label string
+	Pred  func(*graph.Graph) bool
+}
+
+// Name implements sim.Named.
+func (o *OracleDecider) Name() string { return "oracle:" + o.Label }
+
+// LocalMessage encodes the incidence row of node id: bit j-1 set iff j is a
+// neighbor. Exactly n bits, a pure function of (n, id, nbrs).
+func (o *OracleDecider) LocalMessage(n, id int, nbrs []int) bits.String {
+	var w bits.Writer
+	isNbr := make([]bool, n+1)
+	for _, x := range nbrs {
+		isNbr[x] = true
+	}
+	for j := 1; j <= n; j++ {
+		if isNbr[j] {
+			w.WriteBit(1)
+		} else {
+			w.WriteBit(0)
+		}
+	}
+	return w.String()
+}
+
+// Decide rebuilds the graph from the rows and applies the predicate. It
+// rejects inconsistent rows (an edge asserted by one endpoint only).
+func (o *OracleDecider) Decide(n int, msgs []bits.String) (bool, error) {
+	g, err := decodeRows(n, msgs)
+	if err != nil {
+		return false, err
+	}
+	return o.Pred(g), nil
+}
+
+// decodeRows turns n adjacency rows into a graph, checking symmetry.
+func decodeRows(n int, msgs []bits.String) (*graph.Graph, error) {
+	if len(msgs) != n {
+		return nil, fmt.Errorf("core: %d messages for n=%d", len(msgs), n)
+	}
+	g := graph.New(n)
+	for i, m := range msgs {
+		if m.Len() != n {
+			return nil, fmt.Errorf("core: row %d has %d bits, want %d", i+1, m.Len(), n)
+		}
+		for j := 1; j <= n; j++ {
+			if m.Bit(j-1) == 1 {
+				if j == i+1 {
+					return nil, fmt.Errorf("core: row %d has a self-loop", i+1)
+				}
+				if j > i+1 {
+					g.AddEdge(i+1, j)
+				} else if !g.HasEdge(j, i+1) {
+					return nil, fmt.Errorf("core: rows %d and %d disagree on edge", i+1, j)
+				}
+			} else if j < i+1 && g.HasEdge(j, i+1) {
+				return nil, fmt.Errorf("core: rows %d and %d disagree on edge", i+1, j)
+			}
+		}
+	}
+	return g, nil
+}
+
+// The predicates the paper proves hard, as oracle deciders.
+
+// NewSquareOracle decides "G contains C4 as a subgraph" (Theorem 1).
+func NewSquareOracle() *OracleDecider {
+	return &OracleDecider{Label: "square", Pred: (*graph.Graph).HasSquare}
+}
+
+// NewTriangleOracle decides "G contains a triangle" (Theorem 3).
+func NewTriangleOracle() *OracleDecider {
+	return &OracleDecider{Label: "triangle", Pred: (*graph.Graph).HasTriangle}
+}
+
+// NewDiameterOracle decides "diam(G) ≤ d" (Theorem 2 uses d = 3).
+func NewDiameterOracle(d int) *OracleDecider {
+	return &OracleDecider{
+		Label: fmt.Sprintf("diameter<=%d", d),
+		Pred:  func(g *graph.Graph) bool { return g.DiameterAtMost(d) },
+	}
+}
+
+// NewConnectivityOracle decides "G is connected" (the paper's main open
+// question; the oracle shows the reductions framework applies to it too).
+func NewConnectivityOracle() *OracleDecider {
+	return &OracleDecider{Label: "connected", Pred: (*graph.Graph).IsConnected}
+}
+
+// OracleReconstructor ships adjacency rows and returns the graph itself —
+// the trivial non-frugal reconstructor, Lemma 1's upper-bound foil.
+type OracleReconstructor struct{}
+
+// Name implements sim.Named.
+func (OracleReconstructor) Name() string { return "oracle:reconstruct" }
+
+// LocalMessage is the adjacency row of node id.
+func (OracleReconstructor) LocalMessage(n, id int, nbrs []int) bits.String {
+	return (&OracleDecider{}).LocalMessage(n, id, nbrs)
+}
+
+// Reconstruct rebuilds the graph from the rows.
+func (OracleReconstructor) Reconstruct(n int, msgs []bits.String) (*graph.Graph, error) {
+	return decodeRows(n, msgs)
+}
+
+var (
+	_ sim.Decider       = (*OracleDecider)(nil)
+	_ sim.Reconstructor = OracleReconstructor{}
+)

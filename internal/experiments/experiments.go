@@ -1,0 +1,52 @@
+// Package experiments regenerates every table and figure-equivalent of the
+// reproduction: one function per experiment E1..E12 of DESIGN.md, each
+// returning a stats.Report. cmd/experiments renders them into EXPERIMENTS.md;
+// the root bench_test.go wraps their kernels in testing.B loops.
+package experiments
+
+import (
+	"refereenet/internal/stats"
+)
+
+// Config controls experiment scale. Quick shrinks sweeps so the whole suite
+// runs in seconds (used by tests and benchmarks); the full mode is what
+// EXPERIMENTS.md records.
+type Config struct {
+	Seed  int64
+	Quick bool
+}
+
+// DefaultConfig is the configuration used for the published EXPERIMENTS.md.
+func DefaultConfig() Config { return Config{Seed: 20110516} } // IPDPS 2011 conference date
+
+// All runs every experiment in order.
+func All(cfg Config) []*stats.Report {
+	return []*stats.Report{
+		E1Reconstruction(cfg),
+		E2LocalEncoding(cfg),
+		E3DecoderAblation(cfg),
+		E4SquareReduction(cfg),
+		E5DiameterReduction(cfg),
+		E6TriangleReduction(cfg),
+		E7Counting(cfg),
+		E8Collisions(cfg),
+		E9PartitionConnectivity(cfg),
+		E10Recognition(cfg),
+		E11Generalized(cfg),
+		E12Extensions(cfg),
+	}
+}
+
+func boolMark(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "NO"
+}
+
+func pick(quick bool, q, full []int) []int {
+	if quick {
+		return q
+	}
+	return full
+}

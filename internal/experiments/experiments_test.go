@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"refereenet/internal/stats"
+)
+
+func quickCfg() Config { return Config{Seed: 42, Quick: true} }
+
+// requireNoFailures scans a report for the "NO" / "(WRONG)" markers the
+// experiment tables use to flag broken expectations.
+func requireNoFailures(t *testing.T, r *stats.Report) {
+	t.Helper()
+	if r.ID == "" || r.Title == "" || r.Anchor == "" {
+		t.Fatalf("report metadata incomplete: %+v", r)
+	}
+	if len(r.Tables) == 0 {
+		t.Fatalf("%s: no tables", r.ID)
+	}
+	for _, tbl := range r.Tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: table %q empty", r.ID, tbl.Title)
+		}
+		for _, row := range tbl.Rows {
+			for _, cell := range row {
+				if cell == "NO" || strings.Contains(cell, "WRONG") || cell == "error" {
+					t.Errorf("%s: table %q row %v flags a failure", r.ID, tbl.Title, row)
+				}
+			}
+		}
+	}
+}
+
+func TestE1(t *testing.T) { requireNoFailures(t, E1Reconstruction(quickCfg())) }
+func TestE2(t *testing.T) { requireNoFailures(t, E2LocalEncoding(quickCfg())) }
+func TestE3(t *testing.T) { requireNoFailures(t, E3DecoderAblation(quickCfg())) }
+func TestE4(t *testing.T) { requireNoFailures(t, E4SquareReduction(quickCfg())) }
+func TestE5(t *testing.T) { requireNoFailures(t, E5DiameterReduction(quickCfg())) }
+func TestE6(t *testing.T) { requireNoFailures(t, E6TriangleReduction(quickCfg())) }
+func TestE7(t *testing.T) {
+	r := E7Counting(quickCfg())
+	// E7's "recon?" columns legitimately contain NO at large n — that IS the
+	// pigeonhole. Only check structure.
+	if len(r.Tables) != 3 {
+		t.Fatalf("E7 should have 3 tables, has %d", len(r.Tables))
+	}
+	for _, tbl := range r.Tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("table %q empty", tbl.Title)
+		}
+	}
+	// The crossover must actually happen: at n=65536 the all-graphs family
+	// must be flagged unreconstructible.
+	last := r.Tables[1].Rows[len(r.Tables[1].Rows)-1]
+	if last[5] != "NO" {
+		t.Errorf("expected all-graphs to exceed capacity at n=65536: %v", last)
+	}
+	// And the degeneracy table must stay reconstructible throughout.
+	for _, row := range r.Tables[2].Rows {
+		if row[3] != "yes" {
+			t.Errorf("degeneracy family should stay under capacity: %v", row)
+		}
+	}
+}
+func TestE8(t *testing.T) {
+	r := E8Collisions(quickCfg())
+	if len(r.Tables) != 2 {
+		t.Fatalf("E8 should have 2 tables")
+	}
+	// Every weak-strawman row must carry a real certificate (collision n,
+	// not "none").
+	for _, row := range r.Tables[0].Rows {
+		if strings.HasPrefix(row[3], "none") {
+			t.Errorf("weak strawman lacks certificate: %v", row)
+		}
+	}
+	// Strong strawmen at n=5 must be injective (the documented boundary).
+	for _, row := range r.Tables[1].Rows {
+		if row[5] != "yes" {
+			t.Errorf("strong strawman unexpectedly collided: %v", row)
+		}
+	}
+}
+func TestE9(t *testing.T) {
+	r := E9PartitionConnectivity(quickCfg())
+	requireNoFailures(t, r)
+	for _, row := range r.Tables[0].Rows {
+		if !strings.HasSuffix(row[5], "/"+row[4]) || !strings.HasPrefix(row[5], row[4]) {
+			t.Errorf("partition connectivity not exact: %v", row)
+		}
+	}
+}
+func TestE10(t *testing.T) { requireNoFailures(t, E10Recognition(quickCfg())) }
+func TestE11(t *testing.T) { requireNoFailures(t, E11Generalized(quickCfg())) }
+func TestE12(t *testing.T) {
+	r := E12Extensions(quickCfg())
+	requireNoFailures(t, r)
+}
+
+func TestAllProducesTwelveReports(t *testing.T) {
+	reports := All(quickCfg())
+	if len(reports) != 12 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if seen[r.ID] {
+			t.Errorf("duplicate report ID %s", r.ID)
+		}
+		seen[r.ID] = true
+		if !strings.HasPrefix(r.Markdown(), "## "+r.ID) {
+			t.Errorf("%s: markdown missing header", r.ID)
+		}
+	}
+}

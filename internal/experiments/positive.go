@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"refereenet/internal/core"
+	"refereenet/internal/gen"
+	"refereenet/internal/graph"
+	"refereenet/internal/sim"
+	"refereenet/internal/stats"
+)
+
+// classCase is one generated instance of a bounded-degeneracy class.
+type classCase struct {
+	name string
+	k    int
+	make func(rng interface{ Intn(int) int }, n int) *graph.Graph
+}
+
+func e1Classes(seed int64) []struct {
+	name string
+	k    int
+	gen  func(n int) *graph.Graph
+} {
+	rng := gen.NewRand(seed)
+	return []struct {
+		name string
+		k    int
+		gen  func(n int) *graph.Graph
+	}{
+		{"forest (k=1)", 1, func(n int) *graph.Graph { return gen.RandomForest(rng, n, 4) }},
+		{"grid (k=2)", 2, func(n int) *graph.Graph {
+			side := int(math.Sqrt(float64(n)))
+			return gen.Grid(side, (n+side-1)/side)
+		}},
+		{"outerplanar (k=2)", 2, func(n int) *graph.Graph { return gen.MaximalOuterplanar(n) }},
+		{"planar/apollonian (k=3)", 3, func(n int) *graph.Graph { return gen.Apollonian(rng, n) }},
+		{"4-tree (k=4)", 4, func(n int) *graph.Graph { return gen.KTree(rng, n, 4) }},
+		{"random 5-degenerate (k=5)", 5, func(n int) *graph.Graph { return gen.RandomKDegenerate(rng, n, 5, true) }},
+	}
+}
+
+// E1Reconstruction: Theorem 5 / Algorithms 3+4 across graph classes — exact
+// reconstruction, message sizes vs the k²·log n prediction, decode time.
+func E1Reconstruction(cfg Config) *stats.Report {
+	t := stats.NewTable("Reconstruction of bounded-degeneracy classes",
+		"class", "n", "m", "k", "max msg bits", "k²⌈log n⌉", "bits/log n", "exact?", "decode time")
+	t.Note = "One-round frugal protocol (Alg. 3 encode, Alg. 4 decode, Newton decoder). " +
+		"`max msg bits` is measured on the wire; the paper predicts O(k² log n)."
+	sizes := pick(cfg.Quick, []int{64, 256}, []int{64, 256, 1024, 4096})
+	for _, cls := range e1Classes(cfg.Seed) {
+		for _, n := range sizes {
+			g := cls.gen(n)
+			p := &core.DegeneracyProtocol{K: cls.k}
+			tr := sim.LocalPhase(g, p, sim.Parallel)
+			start := time.Now()
+			h, err := p.Reconstruct(g.N(), tr.Messages)
+			decode := time.Since(start)
+			exact := err == nil && h.Equal(g)
+			logn := math.Ceil(math.Log2(float64(g.N())))
+			t.AddRow(cls.name, g.N(), g.M(), cls.k, tr.MaxBits(),
+				cls.k*cls.k*int(logn), float64(tr.MaxBits())/logn, boolMark(exact), decode)
+		}
+	}
+	return &stats.Report{ID: "E1", Title: "Bounded-degeneracy reconstruction", Anchor: "Theorem 5, Algorithms 3–4", Tables: []*stats.Table{t}}
+}
+
+// E2LocalEncoding: Lemma 2 — message size O(k² log n), local time O(n).
+func E2LocalEncoding(cfg Config) *stats.Report {
+	t := stats.NewTable("Local encoding cost (Lemma 2)",
+		"k", "n", "msg bits", "bits/⌈log n⌉", "paper bound k(k+1)log n", "local time/node")
+	t.Note = "Exact wire size of the Algorithm 3 message and measured local computation time. " +
+		"The constant in front of log n depends only on k, as Lemma 2 requires."
+	sizes := pick(cfg.Quick, []int{64, 1024}, []int{64, 256, 1024, 4096, 16384})
+	rng := gen.NewRand(cfg.Seed + 1)
+	for _, k := range []int{1, 2, 3, 5} {
+		for _, n := range sizes {
+			p := &core.DegeneracyProtocol{K: k}
+			bitsUsed := p.MessageBits(n)
+			logn := math.Ceil(math.Log2(float64(n)))
+			// Time the local function at a worst-case node (max degree).
+			g := gen.RandomKDegenerate(rng, min(n, 2048), k, true)
+			v, best := 1, 0
+			for u := 1; u <= g.N(); u++ {
+				if d := g.Degree(u); d > best {
+					v, best = u, d
+				}
+			}
+			nbrs := g.Neighbors(v)
+			start := time.Now()
+			const reps = 50
+			for i := 0; i < reps; i++ {
+				p.LocalMessage(n, v, nbrs)
+			}
+			perCall := time.Since(start) / reps
+			t.AddRow(k, n, bitsUsed, float64(bitsUsed)/logn, int(float64(k*(k+1))*logn), perCall)
+		}
+	}
+	return &stats.Report{ID: "E2", Title: "Local encoding cost", Anchor: "Lemma 2 (Algorithm 3)", Tables: []*stats.Table{t}}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// E3DecoderAblation: Lemma 3 — Newton-identity decoding vs the paper's
+// O(n^k)-entry look-up table.
+func E3DecoderAblation(cfg Config) *stats.Report {
+	t := stats.NewTable("Decoder ablation: Newton identities vs look-up table (Lemma 3)",
+		"n", "k", "table entries", "table build", "decode(all) lookup", "decode(all) newton", "agree?")
+	t.Note = "Full-graph decode time under both decoders. The look-up table answers queries " +
+		"faster but needs Σᵢ≤k C(n,i) precomputed entries — the paper's N table."
+	rng := gen.NewRand(cfg.Seed + 2)
+	cases := pick(cfg.Quick, []int{24}, []int{16, 24, 32, 48})
+	for _, n := range cases {
+		for _, k := range []int{1, 2, 3} {
+			g := gen.RandomKDegenerate(rng, n, k, true)
+			plain := &core.DegeneracyProtocol{K: k}
+			tr := sim.LocalPhase(g, plain, sim.Sequential)
+
+			buildStart := time.Now()
+			ld, err := core.NewLookupDecoder(n, k, 0)
+			build := time.Since(buildStart)
+			if err != nil {
+				t.AddRow(n, k, "-", "-", "-", "-", "table too large")
+				continue
+			}
+			entries := lookupEntries(n, k)
+
+			lookupStart := time.Now()
+			hLookup, err1 := (&core.DegeneracyProtocol{K: k, Decoder: ld}).Reconstruct(n, tr.Messages)
+			lookupTime := time.Since(lookupStart)
+
+			newtonStart := time.Now()
+			hNewton, err2 := plain.Reconstruct(n, tr.Messages)
+			newtonTime := time.Since(newtonStart)
+
+			agree := err1 == nil && err2 == nil && hLookup.Equal(hNewton) && hNewton.Equal(g)
+			t.AddRow(n, k, entries, build, lookupTime, newtonTime, boolMark(agree))
+		}
+	}
+	return &stats.Report{ID: "E3", Title: "Decoder ablation", Anchor: "Lemma 3", Tables: []*stats.Table{t}}
+}
+
+func lookupEntries(n, k int) int {
+	total := 0
+	for i := 0; i <= k; i++ {
+		c := 1
+		for j := 0; j < i; j++ {
+			c = c * (n - j) / (j + 1)
+		}
+		total += c
+	}
+	return total
+}
+
+// E10Recognition: the recognition variant of Theorem 5 — accept iff
+// degeneracy ≤ k, across classes straddling each threshold.
+func E10Recognition(cfg Config) *stats.Report {
+	t := stats.NewTable("Recognition protocol: accept iff degeneracy ≤ k",
+		"graph", "degeneracy", "k=1", "k=2", "k=3", "k=4", "k=5")
+	t.Note = "Each cell is the referee's verdict; the paper's recognition variant rejects " +
+		"exactly when the pruning of Algorithm 4 gets stuck."
+	rng := gen.NewRand(cfg.Seed + 3)
+	n := 40
+	if cfg.Quick {
+		n = 20
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"random tree", gen.RandomTree(rng, n)},
+		{"cycle", gen.Cycle(n)},
+		{"grid", gen.Grid(5, n/5)},
+		{"apollonian", gen.Apollonian(rng, n)},
+		{"4-tree", gen.KTree(rng, n, 4)},
+		{"K6 + pendant path", k6PendantPath(n)},
+	}
+	for _, c := range cases {
+		d, _ := c.g.Degeneracy()
+		row := []interface{}{c.name, d}
+		for k := 1; k <= 5; k++ {
+			p := &core.DegeneracyProtocol{K: k}
+			tr := sim.LocalPhase(c.g, p, sim.Sequential)
+			ok, err := p.Recognize(c.g.N(), tr.Messages)
+			verdict := "accept"
+			if err != nil {
+				verdict = "error"
+			} else if !ok {
+				verdict = "reject"
+			}
+			if (ok && d > k) || (!ok && err == nil && d <= k) {
+				verdict += " (WRONG)"
+			}
+			row = append(row, verdict)
+		}
+		t.AddRow(row...)
+	}
+	return &stats.Report{ID: "E10", Title: "Degeneracy recognition", Anchor: "Theorem 5 (recognition note)", Tables: []*stats.Table{t}}
+}
+
+func k6PendantPath(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 1; u <= 6; u++ {
+		for v := u + 1; v <= 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	for v := 6; v < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// E11Generalized: the §III.D extension — dense graphs via co-neighborhood
+// sums.
+func E11Generalized(cfg Config) *stats.Report {
+	t := stats.NewTable("Generalized degeneracy reconstruction (§III end)",
+		"graph", "n", "m", "degeneracy", "plain k", "plain verdict", "generalized k", "generalized exact?", "msg bits plain/gen")
+	t.Note = "Complements of sparse graphs defeat the plain protocol at small k but are " +
+		"reconstructed by the generalized variant, which also encodes co-neighborhood power sums."
+	rng := gen.NewRand(cfg.Seed + 4)
+	n := 32
+	if cfg.Quick {
+		n = 16
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"complement of tree", gen.RandomTree(rng, n).Complement(), 1},
+		{"complement of 2-tree", gen.KTree(rng, n, 2).Complement(), 2},
+		{"complete graph", gen.Complete(n), 0},
+		{"C5 (self-comparable)", gen.Cycle(5), 2},
+	}
+	for _, c := range cases {
+		d, _ := c.g.Degeneracy()
+		plain := &core.DegeneracyProtocol{K: c.k}
+		_, _, errPlain := sim.RunReconstructor(c.g, plain, sim.Sequential)
+		plainVerdict := "reconstructs"
+		if errPlain != nil {
+			plainVerdict = "stuck (degeneracy > k)"
+		}
+		genp := &core.GeneralizedDegeneracyProtocol{K: c.k}
+		h, _, errGen := sim.RunReconstructor(c.g, genp, sim.Sequential)
+		exact := errGen == nil && h.Equal(c.g)
+		t.AddRow(c.name, c.g.N(), c.g.M(), d, c.k, plainVerdict, c.k, boolMark(exact),
+			fmt.Sprintf("%d/%d", plain.MessageBits(c.g.N()), genp.MessageBits(c.g.N())))
+	}
+	return &stats.Report{ID: "E11", Title: "Generalized degeneracy", Anchor: "Section III, final remark", Tables: []*stats.Table{t}}
+}

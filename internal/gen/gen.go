@@ -1,0 +1,267 @@
+// Package gen provides deterministic, seeded generators for every graph
+// family the experiments need: the bounded-degeneracy classes the paper's
+// positive result covers (forests, k-trees, planar, random k-degenerate),
+// the hard families behind its impossibility results (square-free graphs
+// via projective-plane incidence, balanced bipartite graphs, arbitrary
+// G(n,p)), and assorted structured topologies.
+//
+// All generators take an explicit *rand.Rand so experiments are reproducible
+// from a single seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"refereenet/internal/graph"
+)
+
+// NewRand returns a deterministic PRNG for the given seed.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Gnp returns an Erdős–Rényi G(n,p) graph: every pair independently an edge
+// with probability p.
+func Gnp(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Gnm returns a uniform graph with exactly m edges (m ≤ C(n,2)).
+func Gnm(rng *rand.Rand, n, m int) *graph.Graph {
+	total := n * (n - 1) / 2
+	if m > total {
+		panic(fmt.Sprintf("gen: m=%d exceeds C(%d,2)=%d", m, n, total))
+	}
+	g := graph.New(n)
+	// Floyd's sampling over edge indices.
+	chosen := make(map[int]bool, m)
+	for j := total - m; j < total; j++ {
+		t := rng.Intn(j + 1)
+		if chosen[t] {
+			t = j
+		}
+		chosen[t] = true
+		u, v := graph.EdgePair(n, t)
+		g.AddEdge(u, v)
+	}
+	return g
+}
+
+// ConnectedGnp returns a connected G(n,p) sample: it draws a uniform random
+// spanning tree first and then adds each remaining pair with probability p.
+// The result is connected by construction while keeping G(n,p)-like density.
+func ConnectedGnp(rng *rand.Rand, n int, p float64) *graph.Graph {
+	g := RandomTree(rng, n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if !g.HasEdge(u, v) && rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Path returns the path 1-2-...-n.
+func Path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+// Cycle returns the cycle 1-2-...-n-1 (n ≥ 3).
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: cycle needs n >= 3")
+	}
+	g := Path(n)
+	g.AddEdge(n, 1)
+	return g
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 1; u <= n; u++ {
+		for v := u + 1; v <= n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// CompleteBipartite returns K_{a,b} with parts {1..a} and {a+1..a+b}.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 1; u <= a; u++ {
+		for v := a + 1; v <= a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// Star returns K_{1,n-1} centered at vertex 1.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 2; v <= n; v++ {
+		g.AddEdge(1, v)
+	}
+	return g
+}
+
+// Grid returns the r×c grid graph (degeneracy ≤ 2, planar).
+// Vertex (i,j), 0-based, has ID i*c + j + 1.
+func Grid(r, c int) *graph.Graph {
+	g := graph.New(r * c)
+	id := func(i, j int) int { return i*c + j + 1 }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the r×c torus (wraparound grid); requires r, c ≥ 3 for
+// simplicity of the wrap edges.
+func Torus(r, c int) *graph.Graph {
+	if r < 3 || c < 3 {
+		panic("gen: torus needs r, c >= 3")
+	}
+	g := graph.New(r * c)
+	id := func(i, j int) int { return i*c + j + 1 }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			g.AddEdge(id(i, j), id(i, (j+1)%c))
+			g.AddEdge(id(i, j), id((i+1)%r, j))
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d vertices.
+func Hypercube(d int) *graph.Graph {
+	n := 1 << uint(d)
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			w := v ^ (1 << uint(b))
+			if v < w {
+				g.AddEdge(v+1, w+1)
+			}
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniform random labelled tree on n vertices via a
+// random Prüfer sequence (n ≥ 1).
+func RandomTree(rng *rand.Rand, n int) *graph.Graph {
+	if n <= 0 {
+		return graph.New(n)
+	}
+	if n == 1 {
+		return graph.New(1)
+	}
+	if n == 2 {
+		g := graph.New(2)
+		g.AddEdge(1, 2)
+		return g
+	}
+	seq := make([]int, n-2)
+	for i := range seq {
+		seq[i] = 1 + rng.Intn(n)
+	}
+	return FromPrufer(n, seq)
+}
+
+// FromPrufer decodes a Prüfer sequence (entries in 1..n, length n-2) into
+// its unique labelled tree.
+func FromPrufer(n int, seq []int) *graph.Graph {
+	if len(seq) != n-2 {
+		panic(fmt.Sprintf("gen: Prüfer sequence length %d, want %d", len(seq), n-2))
+	}
+	g := graph.New(n)
+	degree := make([]int, n+1)
+	for v := 1; v <= n; v++ {
+		degree[v] = 1
+	}
+	for _, v := range seq {
+		degree[v]++
+	}
+	// Min-leaf extraction without a heap: pointer sweep trick.
+	ptr := 1
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range seq {
+		g.AddEdge(leaf, v)
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	g.AddEdge(leaf, n)
+	return g
+}
+
+// RandomForest returns a forest: a random tree on each of parts cells of a
+// random partition of {1..n} into roughly equal intervals.
+func RandomForest(rng *rand.Rand, n, parts int) *graph.Graph {
+	if parts < 1 {
+		parts = 1
+	}
+	g := graph.New(n)
+	start := 1
+	for i := 0; i < parts; i++ {
+		size := (n - start + 1) / (parts - i)
+		if i == parts-1 {
+			size = n - start + 1
+		}
+		if size <= 0 {
+			continue
+		}
+		t := RandomTree(rng, size)
+		for _, e := range t.Edges() {
+			g.AddEdge(e[0]+start-1, e[1]+start-1)
+		}
+		start += size
+	}
+	return g
+}
+
+// Caterpillar returns a caterpillar tree: a spine path of length spine with
+// legs pendant vertices distributed round-robin.
+func Caterpillar(spine, legs int) *graph.Graph {
+	n := spine + legs
+	g := graph.New(n)
+	for v := 1; v < spine; v++ {
+		g.AddEdge(v, v+1)
+	}
+	for i := 0; i < legs; i++ {
+		g.AddEdge(1+i%spine, spine+1+i)
+	}
+	return g
+}

@@ -1,0 +1,402 @@
+package gen
+
+import (
+	"testing"
+
+	"refereenet/internal/graph"
+)
+
+func TestGnpExtremes(t *testing.T) {
+	rng := NewRand(1)
+	if Gnp(rng, 10, 0).M() != 0 {
+		t.Error("G(n,0) should be empty")
+	}
+	if Gnp(rng, 10, 1).M() != 45 {
+		t.Error("G(n,1) should be complete")
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(NewRand(42), 20, 0.3)
+	b := Gnp(NewRand(42), 20, 0.3)
+	if !a.Equal(b) {
+		t.Error("same seed should give same graph")
+	}
+}
+
+func TestGnmEdgeCount(t *testing.T) {
+	rng := NewRand(2)
+	for _, m := range []int{0, 1, 10, 45} {
+		g := Gnm(rng, 10, m)
+		if g.M() != m {
+			t.Errorf("Gnm(10,%d) has %d edges", m, g.M())
+		}
+	}
+}
+
+func TestConnectedGnp(t *testing.T) {
+	rng := NewRand(3)
+	for trial := 0; trial < 10; trial++ {
+		g := ConnectedGnp(rng, 30, 0.05)
+		if !g.IsConnected() {
+			t.Fatal("ConnectedGnp returned a disconnected graph")
+		}
+	}
+}
+
+func TestPathCycleComplete(t *testing.T) {
+	if g := Path(5); g.M() != 4 || !g.IsConnected() || !g.IsForest() {
+		t.Error("bad path")
+	}
+	if g := Cycle(5); g.M() != 5 || g.Girth() != 5 {
+		t.Error("bad cycle")
+	}
+	if g := Complete(6); g.M() != 15 || g.Diameter() != 1 {
+		t.Error("bad complete graph")
+	}
+}
+
+func TestCompleteBipartite(t *testing.T) {
+	g := CompleteBipartite(3, 4)
+	if g.M() != 12 {
+		t.Errorf("K(3,4) m = %d", g.M())
+	}
+	ok, _ := g.IsBipartite()
+	if !ok {
+		t.Error("K(3,4) must be bipartite")
+	}
+	if g.HasEdge(1, 2) || !g.HasEdge(1, 4) {
+		t.Error("wrong part structure")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g := Star(6)
+	if g.Degree(1) != 5 || g.M() != 5 {
+		t.Error("bad star")
+	}
+	d, _ := g.Degeneracy()
+	if d != 1 {
+		t.Errorf("star degeneracy = %d", d)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 || g.M() != 3*3+2*4 {
+		t.Errorf("grid n=%d m=%d", g.N(), g.M())
+	}
+	d, _ := g.Degeneracy()
+	if d != 2 {
+		t.Errorf("grid degeneracy = %d, want 2", d)
+	}
+	ok, _ := g.IsBipartite()
+	if !ok {
+		t.Error("grid should be bipartite")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(3, 3)
+	if g.N() != 9 || g.M() != 18 {
+		t.Errorf("torus n=%d m=%d", g.N(), g.M())
+	}
+	for v := 1; v <= 9; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("torus vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	g := Hypercube(4)
+	if g.N() != 16 || g.M() != 32 {
+		t.Errorf("Q4 n=%d m=%d", g.N(), g.M())
+	}
+	if g.Diameter() != 4 {
+		t.Errorf("Q4 diameter = %d", g.Diameter())
+	}
+	ok, _ := g.IsBipartite()
+	if !ok {
+		t.Error("hypercube is bipartite")
+	}
+}
+
+func TestRandomTreeIsTree(t *testing.T) {
+	rng := NewRand(5)
+	for _, n := range []int{1, 2, 3, 5, 17, 64} {
+		g := RandomTree(rng, n)
+		if g.M() != n-1 && n > 0 {
+			t.Fatalf("n=%d: m=%d", n, g.M())
+		}
+		if !g.IsConnected() || !g.IsForest() {
+			t.Fatalf("n=%d: not a tree", n)
+		}
+	}
+}
+
+func TestFromPruferKnown(t *testing.T) {
+	// Sequence (2,2) on 4 vertices decodes to the star at 2.
+	g := FromPrufer(4, []int{2, 2})
+	if g.Degree(2) != 3 || g.M() != 3 {
+		t.Errorf("Prüfer decode wrong: %v", g)
+	}
+	// Sequence (3) on 3 vertices: path 1-3-2.
+	h := FromPrufer(3, []int{3})
+	if !h.HasEdge(1, 3) || !h.HasEdge(2, 3) || h.HasEdge(1, 2) {
+		t.Errorf("Prüfer decode wrong: %v", h)
+	}
+}
+
+func TestRandomForest(t *testing.T) {
+	rng := NewRand(7)
+	g := RandomForest(rng, 20, 4)
+	if !g.IsForest() {
+		t.Error("not a forest")
+	}
+	_, k := g.ConnectedComponents()
+	if k != 4 {
+		t.Errorf("components = %d, want 4", k)
+	}
+}
+
+func TestCaterpillar(t *testing.T) {
+	g := Caterpillar(4, 6)
+	if !g.IsForest() || !g.IsConnected() {
+		t.Error("caterpillar should be a tree")
+	}
+	if g.N() != 10 {
+		t.Errorf("n = %d", g.N())
+	}
+}
+
+func TestKTreeProperties(t *testing.T) {
+	rng := NewRand(9)
+	for _, k := range []int{1, 2, 3, 4} {
+		g := KTree(rng, 20, k)
+		d, _ := g.Degeneracy()
+		if d != k {
+			t.Errorf("k=%d: degeneracy = %d", k, d)
+		}
+		// A k-tree on n vertices has kn - k(k+1)/2 edges.
+		want := k*20 - k*(k+1)/2
+		if g.M() != want {
+			t.Errorf("k=%d: m = %d, want %d", k, g.M(), want)
+		}
+	}
+}
+
+func TestRandomKDegenerate(t *testing.T) {
+	rng := NewRand(11)
+	for _, k := range []int{1, 2, 5} {
+		g := RandomKDegenerate(rng, 40, k, true)
+		d, _ := g.Degeneracy()
+		if d > k {
+			t.Errorf("degeneracy %d > k=%d", d, k)
+		}
+		if d != k { // force=true should hit exactly k for n >> k
+			t.Errorf("degeneracy %d != k=%d with force", d, k)
+		}
+	}
+}
+
+func TestApollonian(t *testing.T) {
+	rng := NewRand(13)
+	g := Apollonian(rng, 30)
+	// Maximal planar: m = 3n - 6.
+	if g.M() != 3*30-6 {
+		t.Errorf("m = %d, want %d", g.M(), 3*30-6)
+	}
+	d, _ := g.Degeneracy()
+	if d != 3 {
+		t.Errorf("degeneracy = %d, want 3", d)
+	}
+}
+
+func TestMaximalOuterplanar(t *testing.T) {
+	g := MaximalOuterplanar(8)
+	if g.M() != 2*8-3 {
+		t.Errorf("m = %d, want %d", g.M(), 2*8-3)
+	}
+	d, _ := g.Degeneracy()
+	if d != 2 {
+		t.Errorf("degeneracy = %d, want 2", d)
+	}
+}
+
+func TestRandomBipartite(t *testing.T) {
+	rng := NewRand(15)
+	g := RandomBipartite(rng, 8, 8, 0.5)
+	ok, side := g.IsBipartite()
+	if !ok {
+		t.Fatal("not bipartite")
+	}
+	_ = side
+	if g.HasTriangle() {
+		t.Error("bipartite graph has a triangle")
+	}
+}
+
+func TestProjectivePlaneIncidence(t *testing.T) {
+	for _, q := range []int{2, 3, 5} {
+		g := ProjectivePlaneIncidence(q)
+		m := q*q + q + 1
+		if g.N() != 2*m {
+			t.Fatalf("q=%d: n = %d, want %d", q, g.N(), 2*m)
+		}
+		if g.M() != (q+1)*m {
+			t.Fatalf("q=%d: edges = %d, want %d", q, g.M(), (q+1)*m)
+		}
+		// Every vertex has degree q+1.
+		for v := 1; v <= g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: vertex %d degree %d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if g.HasSquare() {
+			t.Fatalf("q=%d: incidence graph contains a C4", q)
+		}
+		if g.Girth() != 6 {
+			t.Fatalf("q=%d: girth = %d, want 6", q, g.Girth())
+		}
+	}
+}
+
+func TestGreedySquareFree(t *testing.T) {
+	rng := NewRand(17)
+	g := GreedySquareFree(rng, 20, 0)
+	if g.HasSquare() {
+		t.Error("greedy square-free graph has a square")
+	}
+	if g.M() == 0 {
+		t.Error("greedy graph should have some edges")
+	}
+}
+
+func TestGreedyTriangleFree(t *testing.T) {
+	rng := NewRand(19)
+	g := GreedyTriangleFree(rng, 20, 0)
+	if g.HasTriangle() {
+		t.Error("greedy triangle-free graph has a triangle")
+	}
+	if g.M() == 0 {
+		t.Error("greedy graph should have some edges")
+	}
+}
+
+func TestFatTree(t *testing.T) {
+	g := FatTree(4)
+	// k=4: 4 core, 8 agg, 8 edge.
+	if g.N() != 4+8+8 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !g.IsConnected() {
+		t.Error("fat tree should be connected")
+	}
+	// Aggregation switches have degree half(core)+half(edge) = 4.
+	for v := 5; v <= 12; v++ {
+		if g.Degree(v) != 4 {
+			t.Errorf("agg switch %d degree %d", v, g.Degree(v))
+		}
+	}
+}
+
+func TestBarbellWithBridge(t *testing.T) {
+	g := BarbellWithBridge(5)
+	if !g.IsConnected() {
+		t.Fatal("barbell should be connected")
+	}
+	g.RemoveEdge(5, 6)
+	if g.IsConnected() {
+		t.Error("removing the bridge should disconnect")
+	}
+}
+
+func TestDisjointCliques(t *testing.T) {
+	g := DisjointCliques(3, 4)
+	_, k := g.ConnectedComponents()
+	if k != 3 {
+		t.Errorf("components = %d, want 3", k)
+	}
+	if g.M() != 3*6 {
+		t.Errorf("m = %d", g.M())
+	}
+}
+
+func TestRelabelPreservesShape(t *testing.T) {
+	rng := NewRand(21)
+	g := KTree(rng, 15, 3)
+	h := Relabel(rng, g)
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatal("relabel changed size")
+	}
+	dg, _ := g.Degeneracy()
+	dh, _ := h.Degeneracy()
+	if dg != dh {
+		t.Error("relabel changed degeneracy")
+	}
+}
+
+func TestRelabelDeterministic(t *testing.T) {
+	g := Grid(4, 4)
+	a := Relabel(NewRand(1), g)
+	b := Relabel(NewRand(1), g)
+	if !a.Equal(b) {
+		t.Error("relabel with same seed differs")
+	}
+}
+
+// Guard: generated families really are inputs the degeneracy protocol
+// accepts with the k the experiments assume.
+func TestClassDegeneracyContract(t *testing.T) {
+	rng := NewRand(23)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		maxK int
+	}{
+		{"tree", RandomTree(rng, 50), 1},
+		{"forest", RandomForest(rng, 50, 5), 1},
+		{"outerplanar", MaximalOuterplanar(30), 2},
+		{"grid", Grid(6, 8), 2},
+		{"apollonian", Apollonian(rng, 40), 3},
+		{"ktree4", KTree(rng, 40, 4), 4},
+		{"pg2_3", ProjectivePlaneIncidence(3), 3 + 1},
+	}
+	for _, c := range cases {
+		d, _ := c.g.Degeneracy()
+		if d > c.maxK {
+			t.Errorf("%s: degeneracy %d exceeds %d", c.name, d, c.maxK)
+		}
+	}
+}
+
+func TestMycielskiGrotzsch(t *testing.T) {
+	// M(C5) is the Grötzsch graph: 11 vertices, 20 edges, triangle-free,
+	// chromatic number 4 (hence not bipartite), girth 4.
+	g := Mycielski(Cycle(5))
+	if g.N() != 11 || g.M() != 20 {
+		t.Fatalf("n=%d m=%d, want 11, 20", g.N(), g.M())
+	}
+	if g.HasTriangle() {
+		t.Error("Grötzsch graph is triangle-free")
+	}
+	if ok, _ := g.IsBipartite(); ok {
+		t.Error("Grötzsch graph is not bipartite")
+	}
+	if g.Girth() != 4 {
+		t.Errorf("girth = %d, want 4", g.Girth())
+	}
+}
+
+func TestMycielskiPreservesTriangleFree(t *testing.T) {
+	rng := NewRand(25)
+	g := GreedyTriangleFree(rng, 10, 0)
+	m := Mycielski(g)
+	if m.HasTriangle() {
+		t.Error("Mycielskian of triangle-free graph has a triangle")
+	}
+	if m.N() != 2*g.N()+1 || m.M() != 3*g.M()+g.N() {
+		t.Errorf("size wrong: n=%d m=%d", m.N(), m.M())
+	}
+}

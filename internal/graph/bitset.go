@@ -1,0 +1,50 @@
+package graph
+
+import "math/bits"
+
+// bitset is a fixed-capacity set of small non-negative integers.
+type bitset []uint64
+
+func newBitset(capacity int) bitset {
+	return make(bitset, (capacity+63)/64)
+}
+
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) clear(i int)    { b[i>>6] &^= 1 << uint(i&63) }
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// forEach calls f for each member in increasing order.
+func (b bitset) forEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			f(wi<<6 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+func (b bitset) equal(c bitset) bool {
+	if len(b) != len(c) {
+		return false
+	}
+	for i := range b {
+		if b[i] != c[i] {
+			return false
+		}
+	}
+	return true
+}

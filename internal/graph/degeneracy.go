@@ -1,0 +1,188 @@
+package graph
+
+// Degeneracy computes the degeneracy of g and an elimination order
+// witnessing it, using the Matula–Beck bucket algorithm in O(n + m).
+//
+// The returned order (r_1, ..., r_n) matches Definition 2 of the paper:
+// reading it right to left, each r_i has degree ≤ degeneracy in the subgraph
+// induced by {r_1, ..., r_i}. Equivalently, peeling order[n-1], order[n-2],
+// ... always removes a vertex of minimum remaining degree.
+func (g *Graph) Degeneracy() (degeneracy int, order []int) {
+	n := g.n
+	if n == 0 {
+		return 0, nil
+	}
+	deg := make([]int, n+1)
+	maxDeg := 0
+	for v := 1; v <= n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Buckets of vertices by current degree.
+	bucket := make([][]int, maxDeg+1)
+	for v := n; v >= 1; v-- {
+		bucket[deg[v]] = append(bucket[deg[v]], v)
+	}
+	removed := make([]bool, n+1)
+	peel := make([]int, 0, n) // peeling order: min-degree-first
+	cur := 0
+	for len(peel) < n {
+		// The minimum degree can drop by at most 1 per removal, so cur only
+		// needs to back up one bucket at a time.
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(bucket[cur]) == 0 {
+			cur++
+		}
+		// Pop a vertex whose recorded degree is still current.
+		b := bucket[cur]
+		v := b[len(b)-1]
+		bucket[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue
+		}
+		removed[v] = true
+		peel = append(peel, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		g.adj[v].forEach(func(w int) {
+			if !removed[w] {
+				deg[w]--
+				bucket[deg[w]] = append(bucket[deg[w]], w)
+			}
+		})
+	}
+	// Reverse the peeling order to obtain the paper's (r_1, ..., r_n).
+	order = make([]int, n)
+	for i, v := range peel {
+		order[n-1-i] = v
+	}
+	return degeneracy, order
+}
+
+// IsDegeneracyOrder verifies that order is a valid elimination order
+// witnessing degeneracy ≤ k: for each i (1-based), order[i-1] has at most k
+// neighbors among order[0..i-1].
+func (g *Graph) IsDegeneracyOrder(order []int, k int) bool {
+	if len(order) != g.n {
+		return false
+	}
+	pos := make([]int, g.n+1)
+	seen := make([]bool, g.n+1)
+	for i, v := range order {
+		if v < 1 || v > g.n || seen[v] {
+			return false
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	for i, v := range order {
+		d := 0
+		g.adj[v].forEach(func(w int) {
+			if pos[w] < i {
+				d++
+			}
+		})
+		if d > k {
+			return false
+		}
+	}
+	return true
+}
+
+// CoreNumbers returns core[v] = the largest k such that v belongs to the
+// k-core of g (core[0] unused). max(core) equals the degeneracy.
+func (g *Graph) CoreNumbers() []int {
+	n := g.n
+	core := make([]int, n+1)
+	deg := make([]int, n+1)
+	maxDeg := 0
+	for v := 1; v <= n; v++ {
+		deg[v] = g.Degree(v)
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	bucket := make([][]int, maxDeg+1)
+	for v := 1; v <= n; v++ {
+		bucket[deg[v]] = append(bucket[deg[v]], v)
+	}
+	removed := make([]bool, n+1)
+	level := 0
+	for count := 0; count < n; {
+		if level > 0 {
+			level--
+		}
+		for level <= maxDeg && len(bucket[level]) == 0 {
+			level++
+		}
+		b := bucket[level]
+		v := b[len(b)-1]
+		bucket[level] = b[:len(b)-1]
+		if removed[v] || deg[v] != level {
+			continue
+		}
+		removed[v] = true
+		core[v] = level
+		count++
+		g.adj[v].forEach(func(w int) {
+			if !removed[w] && deg[w] > level {
+				deg[w]--
+				bucket[deg[w]] = append(bucket[deg[w]], w)
+			}
+		})
+	}
+	return core
+}
+
+// GeneralizedDegeneracyOrder attempts to find an elimination order
+// witnessing "generalized degeneracy ≤ k" (paper §III end): repeatedly remove
+// a vertex whose degree in the remaining graph is ≤ k, or whose degree in the
+// complement of the remaining graph is ≤ k. It returns the peeling order and
+// whether it succeeded (greedy removal is safe: removing any removable vertex
+// never makes another vertex unremovable in this relaxed notion? — it is for
+// plain degeneracy; for the generalized notion greedy is a sound *recognizer
+// of a witness*, so failure means this greedy found none).
+func (g *Graph) GeneralizedDegeneracyOrder(k int) (order []int, ok bool) {
+	n := g.n
+	remaining := n
+	deg := make([]int, n+1)
+	removed := make([]bool, n+1)
+	for v := 1; v <= n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	peel := make([]int, 0, n)
+	for remaining > 0 {
+		pick := 0
+		for v := 1; v <= n; v++ {
+			if removed[v] {
+				continue
+			}
+			coDeg := (remaining - 1) - deg[v]
+			if deg[v] <= k || coDeg <= k {
+				pick = v
+				break
+			}
+		}
+		if pick == 0 {
+			return nil, false
+		}
+		removed[pick] = true
+		remaining--
+		peel = append(peel, pick)
+		g.adj[pick].forEach(func(w int) {
+			if !removed[w] {
+				deg[w]--
+			}
+		})
+	}
+	order = make([]int, n)
+	for i, v := range peel {
+		order[n-1-i] = v
+	}
+	return order, true
+}

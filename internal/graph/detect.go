@@ -1,0 +1,135 @@
+package graph
+
+// HasTriangle reports whether the graph contains K3 as a subgraph.
+// It scans each edge {u,v} and intersects adjacency bitsets, O(m·n/64).
+func (g *Graph) HasTriangle() bool {
+	for u := 1; u <= g.n; u++ {
+		found := false
+		g.adj[u].forEach(func(v int) {
+			if found || v <= u {
+				return
+			}
+			au, av := g.adj[u], g.adj[v]
+			for i := range au {
+				if au[i]&av[i] != 0 {
+					found = true
+					return
+				}
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// Triangles returns all triangles as sorted triples {a<b<c}.
+func (g *Graph) Triangles() [][3]int {
+	var out [][3]int
+	for u := 1; u <= g.n; u++ {
+		g.adj[u].forEach(func(v int) {
+			if v <= u {
+				return
+			}
+			g.adj[v].forEach(func(w int) {
+				if w > v && g.adj[u].has(w) {
+					out = append(out, [3]int{u, v, w})
+				}
+			})
+		})
+	}
+	return out
+}
+
+// HasSquare reports whether the graph contains C4 (a cycle on four vertices)
+// as a not necessarily induced subgraph: two vertices with ≥ 2 common
+// neighbors. O(n²·n/64) via bitset intersections.
+func (g *Graph) HasSquare() bool {
+	for u := 1; u <= g.n; u++ {
+		for v := u + 1; v <= g.n; v++ {
+			common := 0
+			au, av := g.adj[u], g.adj[v]
+			for i := range au {
+				w := au[i] & av[i]
+				for w != 0 {
+					common++
+					if common >= 2 {
+						return true
+					}
+					w &= w - 1
+				}
+			}
+		}
+	}
+	return false
+}
+
+// FindSquare returns one C4 as an ordered 4-cycle (a,b,c,d) with edges
+// a-b, b-c, c-d, d-a, or ok=false when the graph is square-free.
+func (g *Graph) FindSquare() (cyc [4]int, ok bool) {
+	for u := 1; u <= g.n; u++ {
+		for v := u + 1; v <= g.n; v++ {
+			var common []int
+			au, av := g.adj[u], g.adj[v]
+			for i := range au {
+				w := au[i] & av[i]
+				for w != 0 {
+					bit := i<<6 + trailingZeros(w)
+					common = append(common, bit)
+					w &= w - 1
+				}
+			}
+			if len(common) >= 2 {
+				return [4]int{u, common[0], v, common[1]}, true
+			}
+		}
+	}
+	return [4]int{}, false
+}
+
+// trailingZeros duplicates math/bits.TrailingZeros64 for local use without
+// importing into this file's hot loop call sites.
+func trailingZeros(w uint64) int {
+	n := 0
+	for w&1 == 0 {
+		w >>= 1
+		n++
+	}
+	return n
+}
+
+// CountTriangles returns the number of triangles.
+func (g *Graph) CountTriangles() int { return len(g.Triangles()) }
+
+// Girth returns the length of a shortest cycle, or -1 for acyclic graphs.
+// BFS from each vertex; O(n·m).
+func (g *Graph) Girth() int {
+	best := -1
+	for s := 1; s <= g.n; s++ {
+		dist := make([]int, g.n+1)
+		parent := make([]int, g.n+1)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			g.adj[u].forEach(func(w int) {
+				if dist[w] < 0 {
+					dist[w] = dist[u] + 1
+					parent[w] = u
+					queue = append(queue, w)
+				} else if parent[u] != w && parent[w] != u {
+					c := dist[u] + dist[w] + 1
+					if best < 0 || c < best {
+						best = c
+					}
+				}
+			})
+		}
+	}
+	return best
+}

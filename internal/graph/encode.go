@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax; name labels the graph.
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", name)
+	for v := 1; v <= g.n; v++ {
+		fmt.Fprintf(&b, "  %d;\n", v)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %d -- %d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// WriteEdgeList writes "n m" followed by one "u v" line per edge.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.n, g.m); err != nil {
+		return err
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header: %w", err)
+	}
+	g := New(n)
+	for i := 0; i < m; i++ {
+		var u, v int
+		if _, err := fmt.Fscan(br, &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge %d: %w", i, err)
+		}
+		if err := g.AddEdgeErr(u, v); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// AdjacencyKey returns a canonical string key for the labelled graph: the
+// sorted edge list. Two labelled graphs are equal iff their keys are equal.
+func (g *Graph) AdjacencyKey() string {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", g.n)
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%d-%d;", e[0], e[1])
+	}
+	return b.String()
+}
+
+// EdgeMask packs the upper-triangular adjacency matrix into a uint64,
+// usable only when C(n,2) ≤ 64; it panics otherwise. Bit ordering matches
+// EdgeIndex. Used by the exhaustive enumeration in the collide package.
+func (g *Graph) EdgeMask() uint64 {
+	if g.n*(g.n-1)/2 > 64 {
+		panic("graph: EdgeMask requires C(n,2) <= 64")
+	}
+	var mask uint64
+	for _, e := range g.Edges() {
+		mask |= 1 << uint(EdgeIndex(g.n, e[0], e[1]))
+	}
+	return mask
+}
+
+// EdgeIndex maps the unordered pair {u,v} ⊂ {1..n}, u < v, to its rank in
+// the lexicographic enumeration (1,2), (1,3), ..., (1,n), (2,3), ... of all
+// C(n,2) pairs; the inverse is EdgePair.
+func EdgeIndex(n, u, v int) int {
+	if u > v {
+		u, v = v, u
+	}
+	if u < 1 || v > n || u == v {
+		panic(fmt.Sprintf("graph: invalid pair {%d,%d} for n=%d", u, v, n))
+	}
+	// Pairs starting with 1..u-1 come first: sum_{i<u} (n-i).
+	return (u-1)*n - u*(u-1)/2 + (v - u) - 1
+}
+
+// EdgePair inverts EdgeIndex.
+func EdgePair(n, idx int) (u, v int) {
+	if idx < 0 || idx >= n*(n-1)/2 {
+		panic(fmt.Sprintf("graph: edge index %d out of range for n=%d", idx, n))
+	}
+	u = 1
+	for {
+		row := n - u // number of pairs (u, u+1..n)
+		if idx < row {
+			return u, u + 1 + idx
+		}
+		idx -= row
+		u++
+	}
+}
+
+// FromEdgeMask builds the graph on n vertices whose edges are the set bits
+// of mask under the EdgeIndex ordering. Requires C(n,2) ≤ 64.
+func FromEdgeMask(n int, mask uint64) *Graph {
+	total := n * (n - 1) / 2
+	if total > 64 {
+		panic("graph: FromEdgeMask requires C(n,2) <= 64")
+	}
+	g := New(n)
+	for idx := 0; idx < total; idx++ {
+		if mask&(1<<uint(idx)) != 0 {
+			u, v := EdgePair(n, idx)
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

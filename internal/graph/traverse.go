@@ -1,0 +1,189 @@
+package graph
+
+// BFSDistances returns dist[v] = number of edges on a shortest path from src
+// to v, or -1 when v is unreachable. dist[0] is unused and set to -1.
+func (g *Graph) BFSDistances(src int) []int {
+	g.checkVertex(src)
+	dist := make([]int, g.n+1)
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int, 0, g.n)
+	dist[src] = 0
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.adj[u].forEach(func(w int) {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		})
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum distance from v to any vertex, or -1 if
+// some vertex is unreachable.
+func (g *Graph) Eccentricity(v int) int {
+	dist := g.BFSDistances(v)
+	ecc := 0
+	for u := 1; u <= g.n; u++ {
+		if dist[u] < 0 {
+			return -1
+		}
+		if dist[u] > ecc {
+			ecc = dist[u]
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the maximum distance over all vertex pairs, or -1 when
+// the graph is disconnected (the paper's "diameter at most 3" question is
+// then vacuously false). The empty graph has diameter 0.
+func (g *Graph) Diameter() int {
+	if g.n == 0 {
+		return 0
+	}
+	diam := 0
+	for v := 1; v <= g.n; v++ {
+		ecc := g.Eccentricity(v)
+		if ecc < 0 {
+			return -1
+		}
+		if ecc > diam {
+			diam = ecc
+		}
+	}
+	return diam
+}
+
+// DiameterAtMost reports whether the graph is connected with diameter ≤ d.
+// It short-circuits as soon as some eccentricity exceeds d.
+func (g *Graph) DiameterAtMost(d int) bool {
+	if g.n == 0 {
+		return true
+	}
+	for v := 1; v <= g.n; v++ {
+		ecc := g.Eccentricity(v)
+		if ecc < 0 || ecc > d {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectedComponents returns comp[v] ∈ {1..k} labelling the k connected
+// components (comp[0] unused = 0), and k itself. Labels are assigned in
+// order of smallest member ID.
+func (g *Graph) ConnectedComponents() (comp []int, k int) {
+	comp = make([]int, g.n+1)
+	for v := 1; v <= g.n; v++ {
+		if comp[v] != 0 {
+			continue
+		}
+		k++
+		queue := []int{v}
+		comp[v] = k
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			g.adj[u].forEach(func(w int) {
+				if comp[w] == 0 {
+					comp[w] = k
+					queue = append(queue, w)
+				}
+			})
+		}
+	}
+	return comp, k
+}
+
+// IsConnected reports whether the graph is connected. The empty graph and
+// the single vertex are connected.
+func (g *Graph) IsConnected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	_, k := g.ConnectedComponents()
+	return k == 1
+}
+
+// IsBipartite reports whether the graph is 2-colorable, and returns a valid
+// coloring side[v] ∈ {0,1} when it is (side[0] unused).
+func (g *Graph) IsBipartite() (bool, []int) {
+	side := make([]int, g.n+1)
+	for i := range side {
+		side[i] = -1
+	}
+	for v := 1; v <= g.n; v++ {
+		if side[v] >= 0 {
+			continue
+		}
+		side[v] = 0
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			ok := true
+			g.adj[u].forEach(func(w int) {
+				if side[w] < 0 {
+					side[w] = 1 - side[u]
+					queue = append(queue, w)
+				} else if side[w] == side[u] {
+					ok = false
+				}
+			})
+			if !ok {
+				return false, nil
+			}
+		}
+	}
+	return true, side
+}
+
+// SpanningForest returns one spanning-forest edge set, computed by BFS from
+// the smallest ID of each component, so that any two parties enumerating the
+// same graph obtain the same forest (the k-partition connectivity protocol
+// relies on this canonicity).
+func (g *Graph) SpanningForest() [][2]int {
+	seen := make([]bool, g.n+1)
+	var forest [][2]int
+	for v := 1; v <= g.n; v++ {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		queue := []int{v}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			g.adj[u].forEach(func(w int) {
+				if !seen[w] {
+					seen[w] = true
+					forest = append(forest, [2]int{u, w})
+					queue = append(queue, w)
+				}
+			})
+		}
+	}
+	return forest
+}
+
+// IsForest reports whether the graph contains no cycle.
+func (g *Graph) IsForest() bool {
+	_, k := g.ConnectedComponents()
+	return g.m == g.n-k
+}
+
+// AllPairsDistances returns an (n+1)×(n+1) matrix of BFS distances
+// (row/column 0 unused; -1 marks unreachable pairs).
+func (g *Graph) AllPairsDistances() [][]int {
+	d := make([][]int, g.n+1)
+	for v := 1; v <= g.n; v++ {
+		d[v] = g.BFSDistances(v)
+	}
+	return d
+}

@@ -1,0 +1,50 @@
+package graph
+
+// UnionFind is a disjoint-set forest over elements 1..n with union by rank
+// and path compression. Element 0 is unused.
+type UnionFind struct {
+	parent []int
+	rank   []int
+	sets   int
+}
+
+// NewUnionFind returns a UnionFind with n singleton sets {1}..{n}.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n+1), rank: make([]int, n+1), sets: n}
+	for i := 1; i <= n; i++ {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Find returns the canonical representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y; it reports whether a merge happened.
+func (u *UnionFind) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return true
+}
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Same reports whether x and y belong to the same set.
+func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }

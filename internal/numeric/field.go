@@ -1,0 +1,134 @@
+package numeric
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Field is the prime field GF(p) for p < 2^62, with constant-time-ish
+// arithmetic via 128-bit intermediate products. Used by the ℓ₀-sampling
+// sketches (p = 2^61 − 1) and the projective-plane generators (small p).
+type Field struct {
+	P uint64
+}
+
+// Mersenne61 is the prime 2^61 − 1, the default sketch field.
+const Mersenne61 = (uint64(1) << 61) - 1
+
+// NewField returns GF(p). It panics if p is not a prime below 2^62
+// (primality is checked deterministically).
+func NewField(p uint64) Field {
+	if p >= 1<<62 || !IsPrime(p) {
+		panic(fmt.Sprintf("numeric: %d is not a usable field prime", p))
+	}
+	return Field{P: p}
+}
+
+// Add returns a+b mod p.
+func (f Field) Add(a, b uint64) uint64 {
+	s := a + b
+	if s >= f.P || s < a { // s < a catches wraparound (impossible for p < 2^62 with reduced inputs)
+		s -= f.P
+	}
+	return s
+}
+
+// Sub returns a−b mod p.
+func (f Field) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + f.P - b
+}
+
+// Neg returns −a mod p.
+func (f Field) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return f.P - a
+}
+
+// Mul returns a·b mod p using a 128-bit product.
+func (f Field) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%f.P, lo, f.P)
+	return rem
+}
+
+// Pow returns a^e mod p.
+func (f Field) Pow(a, e uint64) uint64 {
+	result := uint64(1 % f.P)
+	base := a % f.P
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a ≠ 0 mod p (Fermat).
+func (f Field) Inv(a uint64) uint64 {
+	if a%f.P == 0 {
+		panic("numeric: inverse of zero")
+	}
+	return f.Pow(a, f.P-2)
+}
+
+// IsPrime reports whether n is prime, by deterministic Miller–Rabin with the
+// witness set valid for all n < 2^64.
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == p {
+			return true
+		}
+		if n%p == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	f := Field{P: n}
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := f.Pow(a, d)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = f.Mul(x, x)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime ≥ n (n ≥ 2).
+func NextPrime(n uint64) uint64 {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for !IsPrime(n) {
+		n += 2
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Lookup is the paper's Lemma 3 decoder: a precomputed table mapping the
+// power-sum fingerprint of every subset of {1..n} of size ≤ k to the subset
+// itself. Query time is a hash lookup; the table has Σ_{i≤k} C(n,i) entries,
+// so this is practical only for small n^k. Wright's theorem guarantees the
+// fingerprints are distinct, which NewLookup verifies as it builds.
+type Lookup struct {
+	n, k  int
+	table map[string][]int
+}
+
+// NewLookup enumerates all subsets of {1..n} with at most k elements and
+// indexes them by power-sum fingerprint. maxEntries guards against runaway
+// memory (0 means no guard); exceeding it returns an error.
+func NewLookup(n, k, maxEntries int) (*Lookup, error) {
+	total := 0
+	for i := 0; i <= k; i++ {
+		c, err := binomialChecked(n, i)
+		if err != nil {
+			return nil, err
+		}
+		total += c
+		if maxEntries > 0 && total > maxEntries {
+			return nil, fmt.Errorf("numeric: lookup table needs %d+ entries, cap %d", total, maxEntries)
+		}
+	}
+	l := &Lookup{n: n, k: k, table: make(map[string][]int, total)}
+	subset := make([]int, 0, k)
+	var rec func(start, remaining int)
+	rec = func(start, remaining int) {
+		key := fingerprint(len(subset), PowerSums(subset, k))
+		if prev, dup := l.table[key]; dup {
+			// Cannot happen by Wright's theorem; if it does, the fingerprint
+			// function is broken.
+			panic(fmt.Sprintf("numeric: fingerprint collision between %v and %v", prev, subset))
+		}
+		l.table[key] = append([]int(nil), subset...)
+		if remaining == 0 {
+			return
+		}
+		for v := start; v <= n; v++ {
+			subset = append(subset, v)
+			rec(v+1, remaining-1)
+			subset = subset[:len(subset)-1]
+		}
+	}
+	rec(1, k)
+	return l, nil
+}
+
+// Decode returns the unique subset of size d with the given power sums
+// (first k entries used), or an error when no such subset exists.
+func (l *Lookup) Decode(d int, sums []*big.Int) ([]int, error) {
+	if d > l.k {
+		return nil, fmt.Errorf("numeric: degree %d exceeds table bound k=%d", d, l.k)
+	}
+	if len(sums) < l.k {
+		return nil, fmt.Errorf("numeric: need %d sums, have %d", l.k, len(sums))
+	}
+	set, ok := l.table[fingerprint(d, sums[:l.k])]
+	if !ok {
+		return nil, fmt.Errorf("numeric: no %d-subset of [1,%d] has these power sums", d, l.n)
+	}
+	if len(set) != d {
+		return nil, fmt.Errorf("numeric: table entry has size %d, want %d", len(set), d)
+	}
+	return append([]int(nil), set...), nil
+}
+
+// Entries returns the number of subsets indexed.
+func (l *Lookup) Entries() int { return len(l.table) }
+
+func fingerprint(d int, sums []*big.Int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", d)
+	for _, s := range sums {
+		b.WriteString(s.Text(62))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+func binomialChecked(n, k int) (int, error) {
+	if k < 0 || n < 0 {
+		return 0, fmt.Errorf("numeric: binomial(%d,%d) undefined", n, k)
+	}
+	if k > n {
+		return 0, nil
+	}
+	r := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		r.Mul(r, big.NewInt(int64(n-i)))
+		r.Div(r, big.NewInt(int64(i+1)))
+	}
+	if !r.IsInt64() || r.Int64() > 1<<40 {
+		return 0, fmt.Errorf("numeric: binomial(%d,%d) too large", n, k)
+	}
+	return int(r.Int64()), nil
+}
+
+// Binomial returns C(n,k) as a big integer (exact for all inputs).
+func Binomial(n, k int) *big.Int {
+	if k < 0 || k > n {
+		return new(big.Int)
+	}
+	r := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		r.Mul(r, big.NewInt(int64(n-i)))
+		r.Div(r, big.NewInt(int64(i+1)))
+	}
+	return r
+}
+
+// Combinations calls yield for every k-subset of {1..n} in lexicographic
+// order, stopping early if yield returns false. The slice passed to yield is
+// reused; callers must copy it to retain it.
+func Combinations(n, k int, yield func(subset []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	subset := make([]int, k)
+	for i := range subset {
+		subset[i] = i + 1
+	}
+	for {
+		if !yield(subset) {
+			return
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && subset[i] == n-(k-1-i) {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		subset[i]++
+		for j := i + 1; j < k; j++ {
+			subset[j] = subset[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// RecoverSet inverts power sums: given d = |S| and the sums
+// (S_1, ..., S_d) with S_p = Σ_{x∈S} x^p for a set S of d *distinct*
+// integers in [1, maxID], it returns S sorted ascending.
+//
+// By Wright's theorem (Theorem 4 in the paper) the solution is unique. The
+// algorithm is Newton's identities — power sums to elementary symmetric
+// polynomials — followed by integer root extraction of the monic polynomial
+// Π (z - x_j) over the candidate range; total cost O(maxID · d) big-int ops.
+//
+// Callers with k > d available sums should pass only the first d; the rest
+// are redundant for decoding (they matter only for uniqueness across
+// different set sizes, which the explicit degree d already pins down).
+func RecoverSet(d int, sums []*big.Int, maxID int) ([]int, error) {
+	if d < 0 {
+		return nil, fmt.Errorf("numeric: negative set size %d", d)
+	}
+	if d == 0 {
+		return nil, nil
+	}
+	if len(sums) < d {
+		return nil, fmt.Errorf("numeric: need %d power sums, have %d", d, len(sums))
+	}
+	elem, err := NewtonElementary(d, sums[:d])
+	if err != nil {
+		return nil, err
+	}
+	// Monic polynomial P(z) = z^d - e1 z^{d-1} + ... + (-1)^d e_d.
+	coeffs := make([]*big.Int, d+1)
+	coeffs[0] = big.NewInt(1)
+	for i := 1; i <= d; i++ {
+		c := new(big.Int).Set(elem[i])
+		if i%2 == 1 {
+			c.Neg(c)
+		}
+		coeffs[i] = c
+	}
+	roots, err := IntegerRoots(coeffs, 1, maxID)
+	if err != nil {
+		return nil, err
+	}
+	if len(roots) != d {
+		return nil, fmt.Errorf("numeric: recovered %d roots, want %d (sums inconsistent with a %d-subset of [1,%d])", len(roots), d, d, maxID)
+	}
+	return roots, nil
+}
+
+// NewtonElementary converts power sums (p_1..p_d) into elementary symmetric
+// polynomials (e_0=1, e_1, ..., e_d) via Newton's identities:
+//
+//	m·e_m = Σ_{i=1..m} (-1)^{i-1} e_{m-i} p_i.
+//
+// All divisions must be exact for integer inputs that really are power sums
+// of an integer multiset; a non-exact division reports an error (corrupt or
+// adversarial message).
+func NewtonElementary(d int, p []*big.Int) ([]*big.Int, error) {
+	if len(p) < d {
+		return nil, fmt.Errorf("numeric: need %d power sums, have %d", d, len(p))
+	}
+	e := make([]*big.Int, d+1)
+	e[0] = big.NewInt(1)
+	acc := new(big.Int)
+	term := new(big.Int)
+	for m := 1; m <= d; m++ {
+		acc.SetInt64(0)
+		for i := 1; i <= m; i++ {
+			term.Mul(e[m-i], p[i-1])
+			if i%2 == 1 {
+				acc.Add(acc, term)
+			} else {
+				acc.Sub(acc, term)
+			}
+		}
+		q, r := new(big.Int).QuoRem(acc, big.NewInt(int64(m)), new(big.Int))
+		if r.Sign() != 0 {
+			return nil, fmt.Errorf("numeric: Newton identity for e_%d does not divide evenly: %v / %d", m, acc, m)
+		}
+		e[m] = q
+	}
+	return e, nil
+}
+
+// IntegerRoots returns the roots of the monic integer polynomial with
+// coefficients coeffs (leading first) that lie in [lo, hi], in ascending
+// order, deflating each root as it is found. Repeated roots are reported as
+// many times as their multiplicity. An inexact deflation can't happen for a
+// true root (remainder is the evaluation, which is zero).
+func IntegerRoots(coeffs []*big.Int, lo, hi int) ([]int, error) {
+	if len(coeffs) == 0 || coeffs[0].Sign() == 0 {
+		return nil, fmt.Errorf("numeric: polynomial must be monic with nonzero leading coefficient")
+	}
+	cur := make([]*big.Int, len(coeffs))
+	for i, c := range coeffs {
+		cur[i] = new(big.Int).Set(c)
+	}
+	var roots []int
+	val := new(big.Int)
+	z := new(big.Int)
+	for cand := lo; cand <= hi && len(cur) > 1; cand++ {
+		for {
+			// Horner evaluation of cur at cand.
+			z.SetInt64(int64(cand))
+			val.Set(cur[0])
+			for i := 1; i < len(cur); i++ {
+				val.Mul(val, z)
+				val.Add(val, cur[i])
+			}
+			if val.Sign() != 0 {
+				break
+			}
+			roots = append(roots, cand)
+			// Synthetic division by (z - cand).
+			next := make([]*big.Int, len(cur)-1)
+			next[0] = new(big.Int).Set(cur[0])
+			for i := 1; i < len(cur)-1; i++ {
+				next[i] = new(big.Int).Mul(next[i-1], z)
+				next[i].Add(next[i], cur[i])
+			}
+			cur = next
+			if len(cur) == 1 {
+				break
+			}
+		}
+	}
+	return roots, nil
+}
+
+// EvalPoly evaluates the integer polynomial (leading coefficient first) at x.
+func EvalPoly(coeffs []*big.Int, x int64) *big.Int {
+	val := new(big.Int)
+	if len(coeffs) == 0 {
+		return val
+	}
+	z := big.NewInt(x)
+	val.Set(coeffs[0])
+	for i := 1; i < len(coeffs); i++ {
+		val.Mul(val, z)
+		val.Add(val, coeffs[i])
+	}
+	return val
+}

@@ -1,0 +1,117 @@
+// Package numeric provides the exact arithmetic behind the paper's
+// degeneracy protocol: power sums of vertex identifiers (the vector
+// b(x) = A(k,n)·x of Algorithm 3), their inversion via Newton's identities
+// (Wright's theorem guarantees uniqueness), the O(n^k) look-up table decoder
+// of Lemma 3, prime fields, and small combinatorial helpers.
+package numeric
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// PowerSums returns the vector (S_1, ..., S_k) with S_p = Σ_{x∈ids} x^p,
+// exactly (arbitrary precision). ids need not be sorted; duplicates are the
+// caller's bug and are not detected here.
+func PowerSums(ids []int, k int) []*big.Int {
+	sums := make([]*big.Int, k)
+	for p := range sums {
+		sums[p] = new(big.Int)
+	}
+	pow := new(big.Int)
+	x := new(big.Int)
+	for _, id := range ids {
+		x.SetInt64(int64(id))
+		pow.SetInt64(1)
+		for p := 0; p < k; p++ {
+			pow.Mul(pow, x)
+			sums[p].Add(sums[p], pow)
+		}
+	}
+	return sums
+}
+
+// PowerSumsU64 is the overflow-checked fast path: it returns the power sums
+// as uint64 values and ok=false when any intermediate would overflow.
+// Useful when (k+1)·log2(n+1) ≤ 63, the common case for moderate n and k.
+func PowerSumsU64(ids []int, k int) (sums []uint64, ok bool) {
+	sums = make([]uint64, k)
+	for _, id := range ids {
+		pow := uint64(1)
+		for p := 0; p < k; p++ {
+			hi, lo := mul64(pow, uint64(id))
+			if hi != 0 {
+				return nil, false
+			}
+			pow = lo
+			s := sums[p] + pow
+			if s < sums[p] {
+				return nil, false
+			}
+			sums[p] = s
+		}
+	}
+	return sums, true
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aHi, aLo := a>>32, a&mask
+	bHi, bLo := b>>32, b&mask
+	t := aLo * bLo
+	lo = t & mask
+	c := t >> 32
+	t = aHi*bLo + c
+	tLo, tHi := t&mask, t>>32
+	t = aLo*bHi + tLo
+	lo |= t << 32
+	hi = aHi*bHi + tHi + t>>32
+	return hi, lo
+}
+
+// VandermondeRow returns the p-th row (1-based) of the matrix A(k,n) of
+// Definition 3: A_{p,i} = i^p for i = 1..n. Returned slice is indexed 1..n
+// with entry 0 unused. Exposed mainly for tests that verify b(x) = A(k,n)·x.
+func VandermondeRow(p, n int) []*big.Int {
+	row := make([]*big.Int, n+1)
+	row[0] = new(big.Int)
+	for i := 1; i <= n; i++ {
+		row[i] = new(big.Int).Exp(big.NewInt(int64(i)), big.NewInt(int64(p)), nil)
+	}
+	return row
+}
+
+// ApplyVandermonde computes A(k,n)·x for an incidence (0/1) vector x indexed
+// 1..n, i.e. the power sums of the set {i : x[i] = 1}. The direct definition,
+// used to cross-check PowerSums.
+func ApplyVandermonde(k, n int, x []bool) []*big.Int {
+	if len(x) != n+1 {
+		panic(fmt.Sprintf("numeric: incidence vector length %d, want %d", len(x), n+1))
+	}
+	out := make([]*big.Int, k)
+	for p := 1; p <= k; p++ {
+		row := VandermondeRow(p, n)
+		s := new(big.Int)
+		for i := 1; i <= n; i++ {
+			if x[i] {
+				s.Add(s, row[i])
+			}
+		}
+		out[p-1] = s
+	}
+	return out
+}
+
+// MaxPowerSumBits returns the number of bits sufficient to store
+// S_p = Σ x^p over any subset of {1..n}: S_p < n·n^p = n^{p+1}, so
+// (p+1)·bitlen(n) bits always suffice. Both node and referee can compute
+// this from public (n, p), which is what makes fixed-width encoding legal.
+func MaxPowerSumBits(n, p int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Exact bound: bitlen(n * n^p).
+	b := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(int64(p)), nil)
+	b.Mul(b, big.NewInt(int64(n)))
+	return b.BitLen()
+}

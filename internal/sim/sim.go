@@ -1,0 +1,213 @@
+// Package sim implements the paper's distributed model: an n-node
+// interconnection network G plus a referee (a universal node v0), where in
+// one round every node sends the referee a single message computed from its
+// own ID, the IDs of its neighbors, and n.
+//
+// Definition 1 of the paper splits a one-round protocol Γ into a local
+// function Γˡₙ — evaluable at ANY pair (id, neighborhood), a property the
+// reduction theorems depend on — and a global function Γᵍₙ run by the
+// referee on the message vector. The Local interface is Γˡ; Decider and
+// Reconstructor pair it with the two shapes of Γᵍ used in the paper.
+//
+// Messages are bit strings and transcripts account for every bit, so the
+// frugality condition (max message size = O(log n)) is checked by
+// measurement rather than by trust.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/graph"
+)
+
+// NodeView is everything a node knows in the model: the network size, its
+// own identifier, and the identifiers of its neighbors (sorted ascending).
+type NodeView struct {
+	N         int
+	ID        int
+	Neighbors []int
+}
+
+// Local is the local function Γˡₙ of a one-round protocol: the message node
+// id sends to the referee in a graph of n nodes when its neighborhood is
+// nbrs. Implementations must be pure functions of (n, id, nbrs) — the
+// reductions in internal/core evaluate them on hypothetical graphs that are
+// never materialized.
+type Local interface {
+	LocalMessage(n, id int, nbrs []int) bits.String
+}
+
+// Decider is a one-round protocol whose referee answers a yes/no question
+// about the graph (e.g. "does G contain a square?").
+type Decider interface {
+	Local
+	// Decide is the global function: it sees only n and the n messages,
+	// ordered by sender ID.
+	Decide(n int, msgs []bits.String) (bool, error)
+}
+
+// Reconstructor is a one-round protocol whose referee outputs the entire
+// labelled graph (the paper's strongest goal; Lemma 1 counts how many graphs
+// any frugal one can tell apart).
+type Reconstructor interface {
+	Local
+	Reconstruct(n int, msgs []bits.String) (*graph.Graph, error)
+}
+
+// Named is implemented by protocols that can report a human-readable name.
+type Named interface{ Name() string }
+
+// Mode selects how the local phase is executed. All modes produce identical
+// transcripts; they differ in scheduling only.
+type Mode int
+
+const (
+	// Sequential evaluates nodes 1..n in order on the calling goroutine.
+	Sequential Mode = iota
+	// Parallel fans the local phase out over a worker pool (one worker per
+	// CPU), mirroring that the nodes of the network compute independently.
+	Parallel
+	// Async runs one goroutine per node delivering messages over a channel
+	// in arbitrary order; the referee waits for all n messages, which is
+	// sound because it knows n (the paper's asynchrony remark).
+	Async
+)
+
+// Transcript records one execution of the local phase.
+type Transcript struct {
+	N        int
+	Messages []bits.String // Messages[i] is the message of node i+1
+}
+
+// MaxBits returns the size of the largest message — the quantity the
+// frugality condition bounds.
+func (t *Transcript) MaxBits() int {
+	max := 0
+	for _, m := range t.Messages {
+		if m.Len() > max {
+			max = m.Len()
+		}
+	}
+	return max
+}
+
+// TotalBits returns the total communication volume received by the referee.
+func (t *Transcript) TotalBits() int {
+	total := 0
+	for _, m := range t.Messages {
+		total += m.Len()
+	}
+	return total
+}
+
+// FrugalityRatio returns MaxBits / log₂(n): the constant hidden in the
+// O(log n) frugality bound. For n < 2 it returns MaxBits.
+func (t *Transcript) FrugalityRatio() float64 {
+	logn := log2ceil(t.N)
+	if logn == 0 {
+		return float64(t.MaxBits())
+	}
+	return float64(t.MaxBits()) / float64(logn)
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// View returns the NodeView of vertex v in g.
+func View(g *graph.Graph, v int) NodeView {
+	return NodeView{N: g.N(), ID: v, Neighbors: g.Neighbors(v)}
+}
+
+// LocalPhase runs the local function of p at every node of g and returns the
+// message vector Γˡ(G) as a transcript.
+func LocalPhase(g *graph.Graph, p Local, mode Mode) *Transcript {
+	n := g.N()
+	t := &Transcript{N: n, Messages: make([]bits.String, n)}
+	switch mode {
+	case Sequential:
+		for v := 1; v <= n; v++ {
+			t.Messages[v-1] = p.LocalMessage(n, v, g.Neighbors(v))
+		}
+	case Parallel:
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range next {
+					t.Messages[v-1] = p.LocalMessage(n, v, g.Neighbors(v))
+				}
+			}()
+		}
+		for v := 1; v <= n; v++ {
+			next <- v
+		}
+		close(next)
+		wg.Wait()
+	case Async:
+		type delivery struct {
+			id  int
+			msg bits.String
+		}
+		ch := make(chan delivery, n)
+		for v := 1; v <= n; v++ {
+			go func(v int) {
+				ch <- delivery{v, p.LocalMessage(n, v, g.Neighbors(v))}
+			}(v)
+		}
+		// The referee collects exactly n messages, in whatever order the
+		// network delivers them.
+		for i := 0; i < n; i++ {
+			d := <-ch
+			t.Messages[d.id-1] = d.msg
+		}
+	default:
+		panic(fmt.Sprintf("sim: unknown mode %d", mode))
+	}
+	return t
+}
+
+// RunDecider executes a full one-round decision protocol on g.
+func RunDecider(g *graph.Graph, d Decider, mode Mode) (bool, *Transcript, error) {
+	t := LocalPhase(g, d, mode)
+	ans, err := d.Decide(g.N(), t.Messages)
+	return ans, t, err
+}
+
+// RunReconstructor executes a full one-round reconstruction protocol on g.
+func RunReconstructor(g *graph.Graph, r Reconstructor, mode Mode) (*graph.Graph, *Transcript, error) {
+	t := LocalPhase(g, r, mode)
+	h, err := r.Reconstruct(g.N(), t.Messages)
+	return h, t, err
+}
+
+// FrugalBudget is the message-size budget c·⌈log₂ n⌉ + c0 used by frugality
+// checks; the paper's protocols have c depending only on k.
+type FrugalBudget struct {
+	C  float64 // multiplier on ⌈log₂ n⌉
+	C0 int     // additive slack (covers tiny-n constants)
+}
+
+// Allows reports whether a transcript fits within the budget.
+func (b FrugalBudget) Allows(t *Transcript) bool {
+	return float64(t.MaxBits()) <= b.C*float64(log2ceil(t.N))+float64(b.C0)
+}

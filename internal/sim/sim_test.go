@@ -1,0 +1,205 @@
+package sim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/core"
+	"refereenet/internal/gen"
+	"refereenet/internal/graph"
+	"refereenet/internal/sim"
+)
+
+func TestViewMatchesModel(t *testing.T) {
+	g := graph.MustFromEdges(4, [][2]int{{1, 2}, {1, 4}})
+	v := sim.View(g, 1)
+	if v.N != 4 || v.ID != 1 {
+		t.Fatalf("view = %+v", v)
+	}
+	if len(v.Neighbors) != 2 || v.Neighbors[0] != 2 || v.Neighbors[1] != 4 {
+		t.Fatalf("neighbors = %v", v.Neighbors)
+	}
+}
+
+func TestLocalPhaseModesIdentical(t *testing.T) {
+	rng := gen.NewRand(500)
+	g := gen.ConnectedGnp(rng, 50, 0.1)
+	p := &core.DegeneracyProtocol{K: 8}
+	seq := sim.LocalPhase(g, p, sim.Sequential)
+	par := sim.LocalPhase(g, p, sim.Parallel)
+	asy := sim.LocalPhase(g, p, sim.Async)
+	for i := range seq.Messages {
+		if !seq.Messages[i].Equal(par.Messages[i]) {
+			t.Fatalf("parallel message %d differs", i+1)
+		}
+		if !seq.Messages[i].Equal(asy.Messages[i]) {
+			t.Fatalf("async message %d differs", i+1)
+		}
+	}
+}
+
+func TestTranscriptAccounting(t *testing.T) {
+	tr := &sim.Transcript{N: 4, Messages: []bits.String{
+		bits.FromBits(1, 0),
+		bits.FromBits(1, 0, 1),
+		bits.FromBits(),
+		bits.FromBits(1),
+	}}
+	if tr.MaxBits() != 3 {
+		t.Errorf("max = %d", tr.MaxBits())
+	}
+	if tr.TotalBits() != 6 {
+		t.Errorf("total = %d", tr.TotalBits())
+	}
+	// log2ceil(4) = 2 → ratio 1.5.
+	if r := tr.FrugalityRatio(); r != 1.5 {
+		t.Errorf("ratio = %f", r)
+	}
+}
+
+func TestFrugalBudget(t *testing.T) {
+	tr := &sim.Transcript{N: 16, Messages: []bits.String{bits.FromBits(1, 1, 1, 1, 1, 1, 1, 1)}}
+	// 8 bits vs budget 2*4+0 = 8: allowed.
+	if !(sim.FrugalBudget{C: 2}).Allows(tr) {
+		t.Error("8 bits should fit 2·log₂16")
+	}
+	if (sim.FrugalBudget{C: 1, C0: 3}).Allows(tr) {
+		t.Error("8 bits should not fit 1·log₂16+3")
+	}
+}
+
+func TestRunDeciderEndToEnd(t *testing.T) {
+	g := gen.Cycle(6)
+	got, tr, err := sim.RunDecider(g, core.NewTriangleOracle(), sim.Parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("C6 has no triangle")
+	}
+	if tr.MaxBits() != 6 {
+		t.Errorf("oracle message should be n bits, got %d", tr.MaxBits())
+	}
+}
+
+func TestMultiRoundAdaptive(t *testing.T) {
+	rng := gen.NewRand(501)
+	cases := []struct {
+		name      string
+		g         *graph.Graph
+		maxRounds int
+		wantRound int
+	}{
+		{"forest", gen.RandomTree(rng, 20), 8, 1}, // degeneracy 1 → k=1 round 1
+		{"ktree2", gen.KTree(rng, 18, 2), 8, 2},   // degeneracy 2 → k=2 round 2
+		{"ktree4", gen.KTree(rng, 18, 4), 8, 3},   // degeneracy 4 → k=4 round 3
+		{"complete9", gen.Complete(9), 8, 4},      // degeneracy 8 → k=8 round 4
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := &core.AdaptiveReconstruction{}
+			res, err := sim.RunMultiRound(c.g, a, c.maxRounds, sim.Sequential)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, ok := res.Output.(*graph.Graph)
+			if !ok {
+				t.Fatalf("output type %T", res.Output)
+			}
+			if !got.Equal(c.g) {
+				t.Fatal("wrong reconstruction")
+			}
+			if res.Rounds != c.wantRound {
+				t.Errorf("rounds = %d, want %d", res.Rounds, c.wantRound)
+			}
+			// One broadcast bit per extra round.
+			if res.BroadcastBits != res.Rounds-1 {
+				t.Errorf("broadcast bits = %d, want %d", res.BroadcastBits, res.Rounds-1)
+			}
+		})
+	}
+}
+
+func TestMultiRoundLimit(t *testing.T) {
+	g := gen.Complete(10)
+	a := &core.AdaptiveReconstruction{}
+	_, err := sim.RunMultiRound(g, a, 1, sim.Sequential)
+	if err == nil {
+		t.Fatal("expected round-limit error")
+	}
+}
+
+func TestMultiRoundCapStuck(t *testing.T) {
+	g := gen.Complete(10) // degeneracy 9
+	a := &core.AdaptiveReconstruction{MaxK: 4}
+	_, err := sim.RunMultiRound(g, a, 10, sim.Sequential)
+	if err == nil {
+		t.Fatal("expected capped-k failure")
+	}
+}
+
+// spyLocal counts invocations to confirm every node runs exactly once.
+type spyLocal struct{ calls chan int }
+
+func (s spyLocal) LocalMessage(n, id int, nbrs []int) bits.String {
+	s.calls <- id
+	var w bits.Writer
+	w.WriteUint(uint64(id), 8)
+	return w.String()
+}
+
+func TestLocalPhaseCallsEachNodeOnce(t *testing.T) {
+	g := gen.Path(9)
+	for _, mode := range []sim.Mode{sim.Sequential, sim.Parallel, sim.Async} {
+		spy := spyLocal{calls: make(chan int, 100)}
+		sim.LocalPhase(g, spy, mode)
+		close(spy.calls)
+		seen := map[int]int{}
+		for id := range spy.calls {
+			seen[id]++
+		}
+		if len(seen) != 9 {
+			t.Fatalf("mode %d: %d distinct nodes called", mode, len(seen))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("mode %d: node %d called %d times", mode, id, c)
+			}
+		}
+	}
+}
+
+func ExampleRunReconstructor() {
+	g := gen.Grid(3, 3) // planar, degeneracy 2
+	p := &core.DegeneracyProtocol{K: 2}
+	h, tr, err := sim.RunReconstructor(g, p, sim.Sequential)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("reconstructed:", h.Equal(g))
+	fmt.Println("message bits:", tr.MaxBits())
+	// Output:
+	// reconstructed: true
+	// message bits: 25
+}
+
+func TestMultiRoundMaxNodeBits(t *testing.T) {
+	g := gen.KTree(gen.NewRand(77), 12, 2)
+	res, err := sim.RunMultiRound(g, &core.AdaptiveReconstruction{}, 8, sim.Sequential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxNodeBits is the max over rounds; the last round (k=2) dominates.
+	p := &core.DegeneracyProtocol{K: 2}
+	if res.MaxNodeBits() != p.MessageBits(12) {
+		t.Errorf("MaxNodeBits = %d, want %d", res.MaxNodeBits(), p.MessageBits(12))
+	}
+}
+
+func TestFrugalityRatioTinyN(t *testing.T) {
+	tr := &sim.Transcript{N: 1, Messages: []bits.String{bits.FromBits(1, 1)}}
+	if tr.FrugalityRatio() != 2 {
+		t.Errorf("n=1 ratio should be raw bits, got %f", tr.FrugalityRatio())
+	}
+}

@@ -1,0 +1,219 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/numeric"
+)
+
+// ℓ₀-sampling sketches over the signed edge-incidence vectors of a graph.
+//
+// Coordinates are the C(n,2) vertex pairs (graph.EdgeIndex order). Node u's
+// vector a_u has, for each incident edge {u,w}, value +1 if u < w and −1
+// otherwise. Summing the vectors of a vertex set S cancels internal edges
+// and leaves exactly the boundary ∂S — the linearity that lets the referee
+// run Borůvka phases on received sketches alone.
+//
+// Each sampler cell keeps (count, indexSum, fingerprint): a one-sparse
+// vector is recovered exactly, and the GF(p) fingerprint (p = 2⁶¹−1) rejects
+// non-one-sparse cells with probability ≥ 1 − M/p. Levels subsample
+// coordinates geometrically with a pairwise-independent hash, so whatever
+// the boundary size some level is one-sparse with constant probability.
+
+// Params sizes a connectivity sketch. All parties derive the same hash
+// functions from Seed (public randomness).
+type Params struct {
+	Phases int // Borůvka phases; ⌈log₂ n⌉ suffices
+	Reps   int // independent samplers per phase (drives success probability)
+	Levels int // geometric subsampling levels; ⌈log₂ C(n,2)⌉+2 suffices
+	Seed   int64
+}
+
+// DefaultParams returns sizes that give ≥ 99% success on graphs up to n.
+func DefaultParams(n int, seed int64) Params {
+	logn := 1
+	for v := n - 1; v > 0; v >>= 1 {
+		logn++
+	}
+	m := n * (n - 1) / 2
+	logm := 2
+	for v := m; v > 0; v >>= 1 {
+		logm++
+	}
+	return Params{Phases: logn + 1, Reps: logn + 3, Levels: logm, Seed: seed}
+}
+
+// cell is one sampler level: the sum of values, the sum of value-weighted
+// indices, and the field fingerprint Σ v_c·r^c.
+type cell struct {
+	count int64
+	index int64
+	fp    uint64
+}
+
+// samplerKeys holds the shared hash parameters of one (phase, rep) sampler.
+type samplerKeys struct {
+	a, b uint64 // pairwise-independent hash h(c) = (a·c + b) mod p
+	r    uint64 // fingerprint base
+}
+
+// keychain derives all sampler keys deterministically from the seed.
+func keychain(p Params) [][]samplerKeys {
+	rng := rand.New(rand.NewSource(p.Seed))
+	field := numeric.Field{P: numeric.Mersenne61}
+	keys := make([][]samplerKeys, p.Phases)
+	for ph := range keys {
+		keys[ph] = make([]samplerKeys, p.Reps)
+		for rep := range keys[ph] {
+			keys[ph][rep] = samplerKeys{
+				a: uint64(rng.Int63())%(field.P-1) + 1,
+				b: uint64(rng.Int63()) % field.P,
+				r: uint64(rng.Int63())%(field.P-2) + 2,
+			}
+		}
+	}
+	return keys
+}
+
+// level returns the subsampling level of coordinate c under keys k: the
+// number of trailing zero bits of h(c), capped at max-1.
+func (k samplerKeys) level(c uint64, max int) int {
+	f := numeric.Field{P: numeric.Mersenne61}
+	h := f.Add(f.Mul(k.a, c), k.b)
+	l := 0
+	for h&1 == 0 && l < max-1 {
+		h >>= 1
+		l++
+	}
+	return l
+}
+
+// NodeSketch is the full sketch one node sends: Phases × Reps × Levels cells.
+type NodeSketch struct {
+	p     Params
+	cells []cell // flattened [phase][rep][level]
+}
+
+func newNodeSketch(p Params) *NodeSketch {
+	return &NodeSketch{p: p, cells: make([]cell, p.Phases*p.Reps*p.Levels)}
+}
+
+func (s *NodeSketch) at(phase, rep, level int) *cell {
+	return &s.cells[(phase*s.p.Reps+rep)*s.p.Levels+level]
+}
+
+// add folds a single coordinate update (c, v=±1) into every sampler.
+func (s *NodeSketch) add(keys [][]samplerKeys, c uint64, v int64) {
+	f := numeric.Field{P: numeric.Mersenne61}
+	for ph := 0; ph < s.p.Phases; ph++ {
+		for rep := 0; rep < s.p.Reps; rep++ {
+			k := keys[ph][rep]
+			lvl := k.level(c, s.p.Levels)
+			// Coordinate lives in levels 0..lvl (nested subsampling).
+			for l := 0; l <= lvl; l++ {
+				cl := s.at(ph, rep, l)
+				cl.count += v
+				cl.index += int64(c) * v
+				term := f.Pow(k.r, c)
+				if v > 0 {
+					cl.fp = f.Add(cl.fp, term)
+				} else {
+					cl.fp = f.Sub(cl.fp, term)
+				}
+			}
+		}
+	}
+}
+
+// merge adds another sketch (vector addition: sketches are linear).
+func (s *NodeSketch) merge(o *NodeSketch) {
+	f := numeric.Field{P: numeric.Mersenne61}
+	for i := range s.cells {
+		s.cells[i].count += o.cells[i].count
+		s.cells[i].index += o.cells[i].index
+		s.cells[i].fp = f.Add(s.cells[i].fp, o.cells[i].fp)
+	}
+}
+
+// sample tries to extract one nonzero coordinate from phase ph of the
+// sketch. Returns the coordinate and ok=false if every (rep, level) cell
+// fails the one-sparse test.
+func (s *NodeSketch) sample(keys [][]samplerKeys, ph int, maxCoord uint64) (uint64, bool) {
+	f := numeric.Field{P: numeric.Mersenne61}
+	for rep := 0; rep < s.p.Reps; rep++ {
+		k := keys[ph][rep]
+		for l := 0; l < s.p.Levels; l++ {
+			cl := s.at(ph, rep, l)
+			if cl.count != 1 && cl.count != -1 {
+				continue
+			}
+			idx := cl.index * cl.count // index / count for count = ±1
+			if idx < 0 || uint64(idx) >= maxCoord {
+				continue
+			}
+			// Fingerprint check: expected v·r^idx.
+			expect := f.Pow(k.r, uint64(idx))
+			if cl.count < 0 {
+				expect = f.Neg(expect)
+			}
+			if expect == cl.fp {
+				return uint64(idx), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Serialization: fixed widths, publicly computable from (n, Params).
+// count ∈ [−n, n] (signed, offset-encoded), index ∈ (−n·M, n·M), fp < p.
+
+func (s *NodeSketch) serialize(n int) bits.String {
+	countW, indexW := cellWidths(n)
+	var w bits.Writer
+	maxCoord := uint64(n) * uint64(n-1) / 2
+	offsetC := uint64(n) // count + n ≥ 0
+	offsetI := uint64(n) * maxCoord
+	for _, cl := range s.cells {
+		w.WriteUint(uint64(cl.count+int64(offsetC)), countW)
+		w.WriteUint(uint64(cl.index+int64(offsetI)), indexW)
+		w.WriteUint(cl.fp, 61)
+	}
+	return w.String()
+}
+
+func parseSketch(n int, p Params, msg bits.String) (*NodeSketch, error) {
+	countW, indexW := cellWidths(n)
+	s := newNodeSketch(p)
+	r := bits.NewReader(msg)
+	maxCoord := uint64(n) * uint64(n-1) / 2
+	offsetC := int64(n)
+	offsetI := int64(uint64(n) * maxCoord)
+	for i := range s.cells {
+		c, err := r.ReadUint(countW)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: cell %d: %w", i, err)
+		}
+		idx, err := r.ReadUint(indexW)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: cell %d: %w", i, err)
+		}
+		fp, err := r.ReadUint(61)
+		if err != nil {
+			return nil, fmt.Errorf("sketch: cell %d: %w", i, err)
+		}
+		s.cells[i] = cell{count: int64(c) - offsetC, index: int64(idx) - offsetI, fp: fp}
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("sketch: %d trailing bits", r.Remaining())
+	}
+	return s, nil
+}
+
+func cellWidths(n int) (countW, indexW int) {
+	maxCoord := n * (n - 1) / 2
+	countW = bits.Width(2 * n)
+	indexW = bits.Width(2 * n * maxCoord)
+	return countW, indexW
+}

@@ -1,0 +1,160 @@
+// Package stats is the experiment harness: tables with typed cells,
+// markdown rendering, and parameter sweeps. cmd/experiments uses it to
+// regenerate every table in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid of cells with named columns.
+type Table struct {
+	Title   string
+	Note    string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table with the given title and columns.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case time.Duration:
+			row[i] = v.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n\n", t.Note)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.Rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Fprint writes the table as aligned plain text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	for _, r := range t.Rows {
+		printRow(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Report is an ordered collection of tables with a heading, one per
+// experiment.
+type Report struct {
+	ID     string // e.g. "E1"
+	Title  string
+	Anchor string // the paper element it reproduces, e.g. "Theorem 5"
+	Tables []*Table
+}
+
+// Markdown renders the whole report.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n*Reproduces: %s.*\n\n", r.ID, r.Title, r.Anchor)
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Sweep returns geometrically spaced sizes from lo to hi (inclusive-ish),
+// e.g. Sweep(16, 1024, 2) = [16 32 64 ... 1024].
+func Sweep(lo, hi, factor int) []int {
+	if factor < 2 {
+		factor = 2
+	}
+	var out []int
+	for v := lo; v <= hi; v *= factor {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Timer measures wall-clock durations of repeated sections.
+type Timer struct{ start time.Time }
+
+// StartTimer begins timing.
+func StartTimer() *Timer { return &Timer{start: time.Now()} }
+
+// Elapsed returns the time since start.
+func (t *Timer) Elapsed() time.Duration { return time.Since(t.start) }
+
+// SortTableRows sorts rows by the numeric value of column col (useful when
+// experiments append out of order).
+func SortTableRows(t *Table, col int) {
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		var a, b float64
+		fmt.Sscanf(t.Rows[i][col], "%f", &a)
+		fmt.Sscanf(t.Rows[j][col], "%f", &b)
+		return a < b
+	})
+}

@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("Sizes", "n", "bits")
+	tbl.Note = "a note"
+	tbl.AddRow(16, 48)
+	tbl.AddRow(64, 72)
+	md := tbl.Markdown()
+	for _, want := range []string{"### Sizes", "a note", "| n | bits |", "| 16 | 48 |", "| 64 | 72 |", "| --- | --- |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAddRowFormatting(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow(1.5, 2.0, 150*time.Microsecond)
+	row := tbl.Rows[0]
+	if row[0] != "1.5" {
+		t.Errorf("float cell %q", row[0])
+	}
+	if row[1] != "2" {
+		t.Errorf("trailing zeros not trimmed: %q", row[1])
+	}
+	if row[2] != "150µs" {
+		t.Errorf("duration cell %q", row[2])
+	}
+}
+
+func TestFprintAligned(t *testing.T) {
+	tbl := NewTable("t", "col", "x")
+	tbl.AddRow("aaaa", 1)
+	tbl.AddRow("b", 22)
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned: %q vs %q", lines[2], lines[3])
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	r := &Report{ID: "E1", Title: "Title", Anchor: "Theorem 5"}
+	r.Tables = append(r.Tables, NewTable("t", "a"))
+	md := r.Markdown()
+	if !strings.HasPrefix(md, "## E1 — Title") {
+		t.Errorf("bad header: %q", md[:30])
+	}
+	if !strings.Contains(md, "Theorem 5") {
+		t.Error("anchor missing")
+	}
+}
+
+func TestSweep(t *testing.T) {
+	got := Sweep(16, 256, 2)
+	want := []int{16, 32, 64, 128, 256}
+	if len(got) != len(want) {
+		t.Fatalf("sweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sweep = %v", got)
+		}
+	}
+	if s := Sweep(10, 5, 2); len(s) != 0 {
+		t.Errorf("empty sweep = %v", s)
+	}
+	// factor < 2 is clamped, preventing infinite loops.
+	if s := Sweep(4, 8, 0); len(s) != 2 {
+		t.Errorf("clamped sweep = %v", s)
+	}
+}
+
+func TestSortTableRows(t *testing.T) {
+	tbl := NewTable("t", "n")
+	tbl.AddRow(256)
+	tbl.AddRow(16)
+	tbl.AddRow(64)
+	SortTableRows(tbl, 0)
+	if tbl.Rows[0][0] != "16" || tbl.Rows[2][0] != "256" {
+		t.Errorf("rows = %v", tbl.Rows)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := StartTimer()
+	if tm.Elapsed() < 0 {
+		t.Error("negative elapsed")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{{1.0, "1"}, {1.25, "1.25"}, {0.1004, "0.1"}, {0, "0"}, {-2.50, "-2.5"}}
+	for _, c := range cases {
+		if got := trimFloat(c.in); got != c.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

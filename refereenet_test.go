@@ -1,0 +1,85 @@
+package refereenet_test
+
+import (
+	"sort"
+	"testing"
+
+	"refereenet"
+	"refereenet/internal/gen"
+)
+
+func sortEdges(e [][2]int) {
+	sort.Slice(e, func(i, j int) bool {
+		if e[i][0] != e[j][0] {
+			return e[i][0] < e[j][0]
+		}
+		return e[i][1] < e[j][1]
+	})
+}
+
+func TestReconstructFacade(t *testing.T) {
+	rng := gen.NewRand(1)
+	g := gen.Apollonian(rng, 30)
+	edges := g.Edges()
+	got, st, err := refereenet.Reconstruct(g.N(), edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortEdges(got)
+	sortEdges(edges)
+	if len(got) != len(edges) {
+		t.Fatalf("got %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, got[i], edges[i])
+		}
+	}
+	if st.Degeneracy != 4 { // apollonian degeneracy 3 → doubling lands on k=4
+		t.Errorf("adaptive k = %d, want 4", st.Degeneracy)
+	}
+	if st.MaxMessageBits == 0 || st.TotalBits == 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestReconstructWithK(t *testing.T) {
+	rng := gen.NewRand(2)
+	g := gen.KTree(rng, 25, 2)
+	got, st, err := refereenet.ReconstructWithK(g.N(), 2, g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != g.M() {
+		t.Fatalf("edge count %d, want %d", len(got), g.M())
+	}
+	if st.FrugalityRatio <= 0 {
+		t.Error("frugality ratio missing")
+	}
+	// Too-small k must error, not silently misreconstruct.
+	if _, _, err := refereenet.ReconstructWithK(g.N(), 1, g.Edges()); err == nil {
+		t.Error("k=1 should fail on a 2-tree")
+	}
+}
+
+func TestRecognizeDegeneracyFacade(t *testing.T) {
+	rng := gen.NewRand(3)
+	g := gen.KTree(rng, 20, 3)
+	ok, err := refereenet.RecognizeDegeneracy(g.N(), 3, g.Edges())
+	if err != nil || !ok {
+		t.Errorf("k=3 accept: ok=%v err=%v", ok, err)
+	}
+	ok, err = refereenet.RecognizeDegeneracy(g.N(), 2, g.Edges())
+	if err != nil || ok {
+		t.Errorf("k=2 reject: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFacadeRejectsBadInput(t *testing.T) {
+	if _, _, err := refereenet.Reconstruct(3, [][2]int{{1, 5}}); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, _, err := refereenet.ReconstructWithK(3, 1, [][2]int{{2, 2}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+}
