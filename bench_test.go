@@ -251,10 +251,40 @@ func BenchmarkCollisionSearch(b *testing.B) {
 }
 
 func BenchmarkEnumerate(b *testing.B) {
+	// The Gray-code engine: one edge toggle per graph, zero allocations.
 	b.Run("n=6", func(b *testing.B) {
+		b.ReportAllocs()
+		count := 0
+		visit := func(_ uint64, g graph.Small) bool {
+			if g.IsConnected() {
+				count++
+			}
+			return true
+		}
+		for i := 0; i < b.N; i++ {
+			count = 0
+			collide.EnumerateGraphsGray(6, visit)
+		}
+	})
+	// The original per-mask graph construction, kept as the ablation.
+	b.Run("legacy/n=6", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			count := 0
 			collide.EnumerateGraphs(6, func(_ uint64, g *graph.Graph) bool {
+				if g.IsConnected() {
+					count++
+				}
+				return true
+			})
+		}
+	})
+	// The reused-*Graph middle ground the collision searches run on.
+	b.Run("incremental/n=6", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			count := 0
+			collide.EnumerateGraphsIncremental(6, func(_ uint64, g *graph.Graph) bool {
 				if g.IsConnected() {
 					count++
 				}
@@ -317,13 +347,27 @@ func BenchmarkPowerSumArithmetic(b *testing.B) {
 
 func BenchmarkCountFamilies(b *testing.B) {
 	b.Run("sequential/n=6", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			collide.Count(6)
 		}
 	})
 	b.Run("parallel/n=6", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			collide.CountParallel(6)
+		}
+	})
+	b.Run("sequential/n=7", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			collide.Count(7)
+		}
+	})
+	b.Run("parallel/n=7", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			collide.CountParallel(7)
 		}
 	})
 }

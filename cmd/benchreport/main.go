@@ -1,0 +1,192 @@
+// Command benchreport runs the repository benchmark suite, writes the
+// results to BENCH_<date>.json, and compares them against the most recent
+// previous baseline. It is the perf trajectory of this repo made durable:
+// every optimisation PR runs it once and quotes the comparison table, and
+// the next PR is measured against the file this one leaves behind.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport                      # default suite, ./BENCH_<date>.json
+//	go run ./cmd/benchreport -bench 'Enumerate'   # narrower suite
+//	go run ./cmd/benchreport -benchtime 5x        # more iterations
+//	go run ./cmd/benchreport -dir perf            # keep baselines in ./perf
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the persisted baseline file.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+const defaultBench = "BenchmarkEnumerate|BenchmarkCountFamilies|BenchmarkCollisionSearch|BenchmarkLocalPhaseModes|BenchmarkGraphAlgorithms"
+
+// benchLine matches one line of `go test -bench -benchmem` output, e.g.
+// "BenchmarkEnumerate/n=6-8  370  3212515 ns/op  0 B/op  0 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "value passed to go test -benchtime (time-based by default: fixed-count runs like 1x are too noisy to compare)")
+	dir := flag.String("dir", ".", "directory holding BENCH_<date>.json baselines")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	dry := flag.Bool("n", false, "run and compare but do not write a new baseline")
+	force := flag.Bool("force", false, "overwrite an existing baseline for today")
+	flag.Parse()
+
+	report, raw, err := runSuite(*bench, *benchtime, *pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n%s", err, raw)
+		os.Exit(1)
+	}
+	prev, prevPath := loadLatest(*dir)
+	printComparison(report, prev, prevPath)
+
+	if *dry {
+		fmt.Println("\n(dry run: baseline not written)")
+		return
+	}
+	out := filepath.Join(*dir, "BENCH_"+report.Date+".json")
+	if _, err := os.Stat(out); err == nil && !*force {
+		// A committed baseline is the published record another PR is
+		// measured against; never clobber it silently.
+		fmt.Fprintf(os.Stderr, "benchreport: %s already exists — rerun with -force to overwrite or -n for a dry run\n", out)
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d benchmarks)\n", out, len(report.Results))
+}
+
+// runSuite shells out to go test and parses the benchmark output.
+func runSuite(bench, benchtime, pkg string) (*Report, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, pkg)
+	raw, err := cmd.CombinedOutput()
+	out := string(raw)
+	if err != nil {
+		return nil, out, fmt.Errorf("go test: %w", err)
+	}
+	r := &Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     bench,
+		BenchTime: benchtime,
+	}
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
+			r.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		r.Results = append(r.Results, res)
+	}
+	if len(r.Results) == 0 {
+		return nil, out, fmt.Errorf("no benchmark lines matched %q", bench)
+	}
+	return r, out, nil
+}
+
+// loadLatest returns the most recent existing baseline in dir, or nil.
+func loadLatest(dir string) (*Report, string) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(paths) == 0 {
+		return nil, ""
+	}
+	sort.Strings(paths) // BENCH_YYYY-MM-DD.json sorts chronologically
+	path := paths[len(paths)-1]
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, ""
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, ""
+	}
+	return &r, path
+}
+
+func printComparison(cur, prev *Report, prevPath string) {
+	if prev == nil {
+		fmt.Println("no previous baseline found — reporting absolute numbers")
+	} else {
+		fmt.Printf("comparing against %s\n", prevPath)
+	}
+	byName := map[string]Result{}
+	if prev != nil {
+		for _, r := range prev.Results {
+			byName[r.Name] = r
+		}
+	}
+	w := 0
+	for _, r := range cur.Results {
+		if len(r.Name) > w {
+			w = len(r.Name)
+		}
+	}
+	fmt.Printf("%-*s  %14s  %12s  %10s  %s\n", w, "benchmark", "ns/op", "B/op", "allocs/op", "vs previous")
+	for _, r := range cur.Results {
+		delta := "(new)"
+		if p, ok := byName[r.Name]; ok && r.NsPerOp > 0 {
+			ratio := p.NsPerOp / r.NsPerOp
+			switch {
+			case ratio >= 1.05:
+				delta = fmt.Sprintf("%.2f× faster", ratio)
+			case ratio <= 0.95:
+				delta = fmt.Sprintf("%.2f× SLOWER", 1/ratio)
+			default:
+				delta = "~unchanged"
+			}
+		}
+		fmt.Printf("%-*s  %14.0f  %12d  %10d  %s\n", w, r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, delta)
+	}
+}

@@ -1,0 +1,3 @@
+module refereenet
+
+go 1.24

@@ -35,10 +35,11 @@ func EnumerateGraphs(n int, visit func(mask uint64, g *graph.Graph) bool) {
 }
 
 // CountGraphs returns the number of labelled graphs on n vertices satisfying
-// pred.
+// pred. The enumeration is incremental: one reused graph, one edge toggled
+// per step (Gray-code order), so the only per-graph cost is pred itself.
 func CountGraphs(n int, pred func(*graph.Graph) bool) uint64 {
 	var count uint64
-	EnumerateGraphs(n, func(_ uint64, g *graph.Graph) bool {
+	EnumerateGraphsIncremental(n, func(_ uint64, g *graph.Graph) bool {
 		if pred(g) {
 			count++
 		}
@@ -59,39 +60,16 @@ type FamilyCounts struct {
 	Connected  uint64 // the open question's family
 }
 
-// Count computes all family counts for n ≤ MaxEnumerationN by enumeration.
+// Count computes all family counts for n ≤ MaxEnumerationN by exhaustive
+// enumeration on the zero-allocation Gray-code engine: the graph is a
+// word-packed stack value, one edge toggles per step, and no heap allocation
+// happens anywhere in the loop (guarded by TestCountAllocFree).
 func Count(n int) FamilyCounts {
-	fc := FamilyCounts{N: n}
-	half := n / 2
-	EnumerateGraphs(n, func(_ uint64, g *graph.Graph) bool {
-		fc.All++
-		if !g.HasSquare() {
-			fc.SquareFree++
-		}
-		if isBipartiteWithParts(g, half) {
-			fc.Bipartite++
-		}
-		if g.IsForest() {
-			fc.Forests++
-		}
-		if d, _ := g.Degeneracy(); d <= 2 {
-			fc.Degen2++
-		}
-		if g.IsConnected() {
-			fc.Connected++
-		}
-		return true
-	})
-	return fc
-}
-
-// isBipartiteWithParts reports whether all edges cross between {1..half} and
-// {half+1..n} — the fixed-parts bipartite family of Theorem 3.
-func isBipartiteWithParts(g *graph.Graph, half int) bool {
-	for _, e := range g.Edges() {
-		if (e[0] <= half) == (e[1] <= half) {
-			return false
-		}
+	if n > MaxEnumerationN {
+		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
 	}
-	return true
+	total := uint(n * (n - 1) / 2)
+	fc := FamilyCounts{N: n}
+	countRange(&fc, n, 0, 1<<total, n/2)
+	return fc
 }

@@ -1,0 +1,144 @@
+package collide
+
+import (
+	"fmt"
+	"math/bits"
+
+	"refereenet/internal/graph"
+)
+
+// This file is the zero-allocation enumeration engine. The original
+// EnumerateGraphs rebuilds a fresh heap-backed *graph.Graph for every one of
+// the 2^C(n,2) edge masks; at n = 7 that is 2,097,152 graph constructions and
+// the single dominant cost of every counting experiment. The engine here
+// walks the masks in binary-reflected Gray-code order instead, so consecutive
+// graphs differ in EXACTLY one edge: each step toggles one bit in a
+// word-packed graph.Small that lives entirely on the stack. Visiting a graph
+// costs one XOR and zero allocations.
+//
+// Gray-code facts used below: gray(i) = i ^ (i>>1) is a bijection on
+// {0 .. 2^t-1}, and gray(i) differs from gray(i-1) in exactly bit
+// TrailingZeros(i). Shards can therefore start anywhere: a worker covering
+// ranks [lo,hi) seeds its graph from gray(lo) and toggles forward.
+
+// edgePairs fills us/vs with the EdgePair decoding of every edge index, so
+// the toggle loop does not redo the division each step. The arrays live on
+// the caller's stack.
+func edgePairs(n int, us, vs *[64]int) {
+	total := n * (n - 1) / 2
+	for idx := 0; idx < total; idx++ {
+		us[idx], vs[idx] = graph.EdgePair(n, idx)
+	}
+}
+
+// EnumerateGraphsGray calls visit on every labelled graph with vertex set
+// {1..n} in Gray-code order, stopping early if visit returns false. The
+// Small is passed by value, so the visitor can keep or mutate it freely and
+// the enumeration state never escapes to the heap. The set of visited masks
+// is exactly that of EnumerateGraphs; only the order differs.
+// It panics for n > MaxEnumerationN.
+func EnumerateGraphsGray(n int, visit func(mask uint64, g graph.Small) bool) {
+	total := uint(n * (n - 1) / 2)
+	EnumerateGraphsGrayRange(n, 0, 1<<total, visit)
+}
+
+// EnumerateGraphsGrayRange visits the Gray-code ranks [lo, hi): graph
+// gray(i) for each i in the range, in order. Disjoint rank ranges cover
+// disjoint mask sets (gray is a bijection), which is how CountParallel
+// shards the space.
+func EnumerateGraphsGrayRange(n int, lo, hi uint64, visit func(mask uint64, g graph.Small) bool) {
+	if n > MaxEnumerationN {
+		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
+	}
+	total := uint(n * (n - 1) / 2)
+	if hi > 1<<total || lo > hi {
+		panic(fmt.Sprintf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n))
+	}
+	if lo == hi {
+		return
+	}
+	var us, vs [64]int
+	edgePairs(n, &us, &vs)
+	mask := lo ^ (lo >> 1)
+	s := graph.SmallFromMask(n, mask)
+	if !visit(mask, s) {
+		return
+	}
+	for i := lo + 1; i < hi; i++ {
+		bit := bits.TrailingZeros64(i)
+		mask ^= 1 << uint(bit)
+		s.ToggleEdge(us[bit], vs[bit])
+		if !visit(mask, s) {
+			return
+		}
+	}
+}
+
+// EnumerateGraphsIncremental visits every labelled graph in Gray-code order
+// through a SINGLE reused *graph.Graph, toggling one edge per step instead
+// of rebuilding n+1 adjacency rows per mask. It exists for callers whose
+// predicates and protocols speak *graph.Graph (the collision searches);
+// the graph passed to visit is mutated between calls and must not be
+// retained. It panics for n > MaxEnumerationN.
+func EnumerateGraphsIncremental(n int, visit func(mask uint64, g *graph.Graph) bool) {
+	if n > MaxEnumerationN {
+		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
+	}
+	total := uint(n * (n - 1) / 2)
+	var us, vs [64]int
+	edgePairs(n, &us, &vs)
+	g := graph.New(n)
+	mask := uint64(0)
+	if !visit(mask, g) {
+		return
+	}
+	for i := uint64(1); i < 1<<total; i++ {
+		bit := bits.TrailingZeros64(i)
+		mask ^= 1 << uint(bit)
+		g.ToggleEdge(us[bit], vs[bit])
+		if !visit(mask, g) {
+			return
+		}
+	}
+}
+
+// countInto tallies one graph into fc. Kept as a named same-package function
+// (rather than a closure) so escape analysis keeps the Small on the stack —
+// countRange runs with zero heap allocations.
+func countInto(fc *FamilyCounts, s *graph.Small, half int) {
+	fc.All++
+	if !s.HasSquare() {
+		fc.SquareFree++
+	}
+	if s.IsBipartiteWithParts(half) {
+		fc.Bipartite++
+	}
+	if s.IsForest() {
+		fc.Forests++
+	}
+	if s.DegeneracyAtMost(2) {
+		fc.Degen2++
+	}
+	if s.IsConnected() {
+		fc.Connected++
+	}
+}
+
+// countRange tallies family counts over the Gray-code ranks [lo, hi) without
+// allocating: the graph is a stack-resident Small and every predicate is
+// branch-light word arithmetic. Shared by Count (full range) and the
+// CountParallel shards.
+func countRange(fc *FamilyCounts, n int, lo, hi uint64, half int) {
+	if lo >= hi {
+		return
+	}
+	var us, vs [64]int
+	edgePairs(n, &us, &vs)
+	s := graph.SmallFromMask(n, lo^(lo>>1))
+	countInto(fc, &s, half)
+	for i := lo + 1; i < hi; i++ {
+		bit := bits.TrailingZeros64(i)
+		s.ToggleEdge(us[bit], vs[bit])
+		countInto(fc, &s, half)
+	}
+}

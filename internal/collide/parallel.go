@@ -3,13 +3,13 @@ package collide
 import (
 	"runtime"
 	"sync"
-
-	"refereenet/internal/graph"
 )
 
 // CountParallel computes FamilyCounts like Count, fanning the enumeration
-// out over all CPUs by partitioning the edge-mask space. Enumeration at
-// n = 7 visits 2,097,152 graphs; the shards are embarrassingly parallel and
+// out over all CPUs. The Gray-code rank space [0, 2^C(n,2)) is split into
+// contiguous shards; each worker seeds its word-packed graph from gray(lo)
+// and toggles forward, so the parallel path is exactly as allocation-free
+// per graph as the sequential one. Shards are embarrassingly parallel and
 // merge by addition.
 func CountParallel(n int) FamilyCounts {
 	if n > MaxEnumerationN {
@@ -36,27 +36,11 @@ func CountParallel(n int) FamilyCounts {
 		wg.Add(1)
 		go func(w int, lo, hi uint64) {
 			defer wg.Done()
-			var fc FamilyCounts
-			fc.N = n
-			for mask := lo; mask < hi; mask++ {
-				g := graph.FromEdgeMask(n, mask)
-				fc.All++
-				if !g.HasSquare() {
-					fc.SquareFree++
-				}
-				if isBipartiteWithParts(g, half) {
-					fc.Bipartite++
-				}
-				if g.IsForest() {
-					fc.Forests++
-				}
-				if d, _ := g.Degeneracy(); d <= 2 {
-					fc.Degen2++
-				}
-				if g.IsConnected() {
-					fc.Connected++
-				}
-			}
+			// Tally into a goroutine-local value — writing through
+			// &results[w] per graph would false-share cache lines between
+			// workers.
+			fc := FamilyCounts{N: n}
+			countRange(&fc, n, lo, hi, half)
 			results[w] = fc
 		}(w, lo, hi)
 	}

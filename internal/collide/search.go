@@ -38,10 +38,22 @@ func (c *Certificate) String() string {
 func messageVector(p sim.Local, g *graph.Graph) []bits.String {
 	n := g.N()
 	msgs := make([]bits.String, n)
-	for v := 1; v <= n; v++ {
-		msgs[v-1] = p.LocalMessage(n, v, g.Neighbors(v))
-	}
+	fillMessageVector(p, g, msgs, make([]int, 0, n))
 	return msgs
+}
+
+// fillMessageVector is messageVector into caller-owned storage: dst holds
+// the n messages and nbrs (cap ≥ n-1) is the reusable neighbor scratch, so
+// the enumeration loops below evaluate protocols without per-graph slice
+// allocations. Implementations of sim.Local must not retain nbrs (they are
+// pure functions of their arguments — Definition 1), which is what makes the
+// reuse sound.
+func fillMessageVector(p sim.Local, g *graph.Graph, dst []bits.String, nbrs []int) {
+	n := g.N()
+	for v := 1; v <= n; v++ {
+		nbrs = g.AppendNeighbors(v, nbrs[:0])
+		dst[v-1] = p.LocalMessage(n, v, nbrs)
+	}
 }
 
 func vectorFingerprint(msgs []bits.String) uint64 {
@@ -90,11 +102,13 @@ func FindDecisionCollision(p sim.Local, pred func(*graph.Graph) bool, n int, fam
 	}
 	buckets := make(map[uint64][]entry)
 	var found *Certificate
-	EnumerateGraphs(n, func(mask uint64, g *graph.Graph) bool {
+	msgs := make([]bits.String, n)
+	nbrs := make([]int, 0, n)
+	EnumerateGraphsIncremental(n, func(mask uint64, g *graph.Graph) bool {
 		if family != nil && !family(g) {
 			return true
 		}
-		msgs := messageVector(p, g)
+		fillMessageVector(p, g, msgs, nbrs)
 		fp := vectorFingerprint(msgs)
 		pv := pred(g)
 		for _, e := range buckets[fp] {
@@ -124,11 +138,13 @@ func FindDecisionCollision(p sim.Local, pred func(*graph.Graph) bool, n int, fam
 func FindReconstructionCollision(p sim.Local, n int, family func(*graph.Graph) bool) *Certificate {
 	buckets := make(map[uint64][]uint64)
 	var found *Certificate
-	EnumerateGraphs(n, func(mask uint64, g *graph.Graph) bool {
+	msgs := make([]bits.String, n)
+	nbrs := make([]int, 0, n)
+	EnumerateGraphsIncremental(n, func(mask uint64, g *graph.Graph) bool {
 		if family != nil && !family(g) {
 			return true
 		}
-		msgs := messageVector(p, g)
+		fillMessageVector(p, g, msgs, nbrs)
 		fp := vectorFingerprint(msgs)
 		for _, om := range buckets[fp] {
 			other := graph.FromEdgeMask(n, om)
@@ -153,12 +169,14 @@ func FindReconstructionCollision(p sim.Local, n int, family func(*graph.Graph) b
 func CountDistinctVectors(p sim.Local, n int, family func(*graph.Graph) bool) (distinct, familySize uint64) {
 	type bucket struct{ masks []uint64 }
 	buckets := make(map[uint64]*bucket)
-	EnumerateGraphs(n, func(mask uint64, g *graph.Graph) bool {
+	msgs := make([]bits.String, n)
+	nbrs := make([]int, 0, n)
+	EnumerateGraphsIncremental(n, func(mask uint64, g *graph.Graph) bool {
 		if family != nil && !family(g) {
 			return true
 		}
 		familySize++
-		msgs := messageVector(p, g)
+		fillMessageVector(p, g, msgs, nbrs)
 		fp := vectorFingerprint(msgs)
 		b, ok := buckets[fp]
 		if !ok {

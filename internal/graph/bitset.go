@@ -5,8 +5,11 @@ import "math/bits"
 // bitset is a fixed-capacity set of small non-negative integers.
 type bitset []uint64
 
+// bitsetWords returns the number of 64-bit words needed for capacity bits.
+func bitsetWords(capacity int) int { return (capacity + 63) / 64 }
+
 func newBitset(capacity int) bitset {
-	return make(bitset, (capacity+63)/64)
+	return make(bitset, bitsetWords(capacity))
 }
 
 func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
@@ -35,6 +38,17 @@ func (b bitset) forEach(f func(i int)) {
 			w &= w - 1
 		}
 	}
+}
+
+// appendMembers appends the members in increasing order without allocating
+// beyond what buf already holds.
+func (b bitset) appendMembers(buf []int) []int {
+	for wi, w := range b {
+		for ; w != 0; w &= w - 1 {
+			buf = append(buf, wi<<6+bits.TrailingZeros64(w))
+		}
+	}
+	return buf
 }
 
 func (b bitset) equal(c bitset) bool {

@@ -1,5 +1,7 @@
 package graph
 
+import "math/bits"
+
 // HasTriangle reports whether the graph contains K3 as a subgraph.
 // It scans each edge {u,v} and intersects adjacency bitsets, O(m·n/64).
 func (g *Graph) HasTriangle() bool {
@@ -75,7 +77,7 @@ func (g *Graph) FindSquare() (cyc [4]int, ok bool) {
 			for i := range au {
 				w := au[i] & av[i]
 				for w != 0 {
-					bit := i<<6 + trailingZeros(w)
+					bit := i<<6 + bits.TrailingZeros64(w)
 					common = append(common, bit)
 					w &= w - 1
 				}
@@ -88,35 +90,26 @@ func (g *Graph) FindSquare() (cyc [4]int, ok bool) {
 	return [4]int{}, false
 }
 
-// trailingZeros duplicates math/bits.TrailingZeros64 for local use without
-// importing into this file's hot loop call sites.
-func trailingZeros(w uint64) int {
-	n := 0
-	for w&1 == 0 {
-		w >>= 1
-		n++
-	}
-	return n
-}
-
 // CountTriangles returns the number of triangles.
 func (g *Graph) CountTriangles() int { return len(g.Triangles()) }
 
 // Girth returns the length of a shortest cycle, or -1 for acyclic graphs.
-// BFS from each vertex; O(n·m).
+// BFS from each vertex; O(n·m). The per-source scratch buffers are allocated
+// once and reset between roots rather than reallocated n times.
 func (g *Graph) Girth() int {
 	best := -1
+	dist := make([]int, g.n+1)
+	parent := make([]int, g.n+1)
+	queue := make([]int, 0, g.n)
 	for s := 1; s <= g.n; s++ {
-		dist := make([]int, g.n+1)
-		parent := make([]int, g.n+1)
 		for i := range dist {
 			dist[i] = -1
+			parent[i] = 0
 		}
 		dist[s] = 0
-		queue := []int{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
 			g.adj[u].forEach(func(w int) {
 				if dist[w] < 0 {
 					dist[w] = dist[u] + 1

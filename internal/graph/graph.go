@@ -22,13 +22,21 @@ type Graph struct {
 }
 
 // New returns an empty graph on n ≥ 0 vertices with IDs 1..n.
+// All adjacency rows share one flat backing array, so construction costs a
+// constant number of allocations instead of one per vertex — the difference
+// between usable and unusable when graphs are built in a hot loop.
 func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
 	g := &Graph{n: n, adj: make([]bitset, n+1)}
+	if n == 0 {
+		return g
+	}
+	words := bitsetWords(n + 1)
+	backing := make([]uint64, n*words)
 	for v := 1; v <= n; v++ {
-		g.adj[v] = newBitset(n + 1)
+		g.adj[v] = bitset(backing[(v-1)*words : v*words : v*words])
 	}
 	return g
 }
@@ -104,6 +112,27 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	return true
 }
 
+// ToggleEdge flips the presence of edge {u,v} — the single-step transition
+// the Gray-code enumeration relies on — and reports whether the edge is
+// present after the flip. Self-loops panic.
+func (g *Graph) ToggleEdge(u, v int) bool {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop toggle at %d", u))
+	}
+	if g.adj[u].has(v) {
+		g.adj[u].clear(v)
+		g.adj[v].clear(u)
+		g.m--
+		return false
+	}
+	g.adj[u].set(v)
+	g.adj[v].set(u)
+	g.m++
+	return true
+}
+
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
 	g.checkVertex(u)
@@ -126,6 +155,15 @@ func (g *Graph) Neighbors(v int) []int {
 	return out
 }
 
+// AppendNeighbors appends the neighbors of v to buf in increasing order and
+// returns the extended slice. With cap(buf) ≥ deg(v) it does not allocate,
+// which is what the simulator's local phase and the collision search rely on
+// to visit millions of neighborhoods without garbage.
+func (g *Graph) AppendNeighbors(v int, buf []int) []int {
+	g.checkVertex(v)
+	return g.adj[v].appendMembers(buf)
+}
+
 // ForEachNeighbor calls f on each neighbor of v in increasing order.
 func (g *Graph) ForEachNeighbor(v int, f func(w int)) {
 	g.checkVertex(v)
@@ -145,11 +183,18 @@ func (g *Graph) Edges() [][2]int {
 	return out
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy, laid out like New (one flat backing array).
 func (g *Graph) Clone() *Graph {
 	c := &Graph{n: g.n, m: g.m, adj: make([]bitset, g.n+1)}
+	if g.n == 0 {
+		return c
+	}
+	words := bitsetWords(g.n + 1)
+	backing := make([]uint64, g.n*words)
 	for v := 1; v <= g.n; v++ {
-		c.adj[v] = g.adj[v].clone()
+		row := bitset(backing[(v-1)*words : v*words : v*words])
+		copy(row, g.adj[v])
+		c.adj[v] = row
 	}
 	return c
 }

@@ -1,0 +1,259 @@
+package graph
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// MaxSmallN is the largest vertex count Small supports. The exhaustive
+// enumeration addresses graphs by a uint64 edge mask, so C(n,2) ≤ 64 caps
+// n at 11 — and 11 vertex bits comfortably fit a uint16 adjacency row.
+const MaxSmallN = 11
+
+// Small is a word-packed simple undirected graph on vertices 1..n for
+// n ≤ MaxSmallN. It is a plain value — the whole adjacency matrix lives in
+// a fixed-size array, so constructing, copying, and mutating a Small never
+// touches the heap. It exists for the enumeration hot path in the collide
+// package, where millions of graphs per second are visited and a heap
+// allocation per graph would dominate the run time; every predicate below is
+// behaviour-identical to its *Graph counterpart (see small_test.go for the
+// exhaustive differential check).
+//
+// Row adj[v] has bit w set iff {v,w} is an edge; bit 0 and row 0 are unused
+// so vertex IDs index directly, mirroring *Graph.
+type Small struct {
+	n   int32
+	m   int32
+	adj [MaxSmallN + 1]uint16
+}
+
+// NewSmall returns an empty Small graph on n vertices.
+func NewSmall(n int) Small {
+	if n < 0 || n > MaxSmallN {
+		panic(fmt.Sprintf("graph: Small vertex count %d out of range [0,%d]", n, MaxSmallN))
+	}
+	return Small{n: int32(n)}
+}
+
+// SmallFromMask builds the Small graph on n vertices whose edges are the set
+// bits of mask under the EdgeIndex ordering, like FromEdgeMask.
+func SmallFromMask(n int, mask uint64) Small {
+	s := NewSmall(n)
+	total := n * (n - 1) / 2
+	for idx := 0; idx < total; idx++ {
+		if mask&(1<<uint(idx)) != 0 {
+			u, v := EdgePair(n, idx)
+			s.ToggleEdge(u, v)
+		}
+	}
+	return s
+}
+
+// N returns the number of vertices.
+func (s *Small) N() int { return int(s.n) }
+
+// M returns the number of edges.
+func (s *Small) M() int { return int(s.m) }
+
+func (s *Small) checkEdge(u, v int) {
+	if u < 1 || u > int(s.n) || v < 1 || v > int(s.n) || u == v {
+		panic(fmt.Sprintf("graph: invalid Small edge {%d,%d} for n=%d", u, v, s.n))
+	}
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (s *Small) HasEdge(u, v int) bool {
+	s.checkEdge(u, v)
+	return s.adj[u]&(1<<uint(v)) != 0
+}
+
+// ToggleEdge flips the presence of edge {u,v} — the one-step transition of
+// the Gray-code enumeration — and reports whether the edge is present after
+// the flip.
+func (s *Small) ToggleEdge(u, v int) bool {
+	s.checkEdge(u, v)
+	s.adj[u] ^= 1 << uint(v)
+	s.adj[v] ^= 1 << uint(u)
+	if s.adj[u]&(1<<uint(v)) != 0 {
+		s.m++
+		return true
+	}
+	s.m--
+	return false
+}
+
+// Degree returns the degree of v.
+func (s *Small) Degree(v int) int {
+	if v < 1 || v > int(s.n) {
+		panic(fmt.Sprintf("graph: Small vertex %d out of range [1,%d]", v, s.n))
+	}
+	return bits.OnesCount16(s.adj[v])
+}
+
+// AppendNeighbors appends the neighbors of v to buf in increasing order and
+// returns the extended slice. With cap(buf) ≥ deg(v) it does not allocate.
+func (s *Small) AppendNeighbors(v int, buf []int) []int {
+	if v < 1 || v > int(s.n) {
+		panic(fmt.Sprintf("graph: Small vertex %d out of range [1,%d]", v, s.n))
+	}
+	for w := s.adj[v]; w != 0; w &= w - 1 {
+		buf = append(buf, bits.TrailingZeros16(w))
+	}
+	return buf
+}
+
+// vertMask returns the bitmask with bits 1..n set.
+func (s *Small) vertMask() uint16 {
+	return uint16(1)<<uint(s.n+1) - 2
+}
+
+// EdgeMask packs the graph into the uint64 edge mask of EdgeIndex ordering.
+func (s *Small) EdgeMask() uint64 {
+	var mask uint64
+	n := int(s.n)
+	for u := 1; u <= n; u++ {
+		for w := s.adj[u] >> uint(u+1) << uint(u+1); w != 0; w &= w - 1 {
+			mask |= 1 << uint(EdgeIndex(n, u, bits.TrailingZeros16(w)))
+		}
+	}
+	return mask
+}
+
+// Graph expands the Small into an equivalent heap-backed *Graph.
+func (s *Small) Graph() *Graph {
+	n := int(s.n)
+	g := New(n)
+	for u := 1; u <= n; u++ {
+		for w := s.adj[u] >> uint(u+1) << uint(u+1); w != 0; w &= w - 1 {
+			g.AddEdge(u, bits.TrailingZeros16(w))
+		}
+	}
+	return g
+}
+
+// HasTriangle reports whether the graph contains K3, like (*Graph).HasTriangle.
+// For each edge {u,v} a nonempty intersection of the two rows is a common
+// neighbor (rows never contain their own vertex, so u and v are excluded).
+func (s *Small) HasTriangle() bool {
+	n := int(s.n)
+	for u := 1; u <= n; u++ {
+		for w := s.adj[u] >> uint(u+1) << uint(u+1); w != 0; w &= w - 1 {
+			if s.adj[u]&s.adj[bits.TrailingZeros16(w)] != 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasSquare reports whether the graph contains C4 as a not necessarily
+// induced subgraph — two vertices with ≥ 2 common neighbors — like
+// (*Graph).HasSquare.
+func (s *Small) HasSquare() bool {
+	n := int(s.n)
+	for u := 1; u < n; u++ {
+		for v := u + 1; v <= n; v++ {
+			if bits.OnesCount16(s.adj[u]&s.adj[v]) >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsConnected reports whether the graph is connected, by bitmask flood fill.
+// The empty graph and the single vertex count as connected, like
+// (*Graph).IsConnected.
+func (s *Small) IsConnected() bool {
+	if s.n <= 1 {
+		return true
+	}
+	seen := uint16(1) << 1 // start from vertex 1
+	frontier := seen
+	for frontier != 0 {
+		next := uint16(0)
+		for w := frontier; w != 0; w &= w - 1 {
+			next |= s.adj[bits.TrailingZeros16(w)]
+		}
+		frontier = next &^ seen
+		seen |= frontier
+	}
+	return seen == s.vertMask()
+}
+
+// components returns the number of connected components.
+func (s *Small) components() int {
+	k := 0
+	for rest := s.vertMask(); rest != 0; {
+		comp := uint16(1) << uint(bits.TrailingZeros16(rest))
+		frontier := comp
+		for frontier != 0 {
+			next := uint16(0)
+			for w := frontier; w != 0; w &= w - 1 {
+				next |= s.adj[bits.TrailingZeros16(w)]
+			}
+			frontier = next &^ comp
+			comp |= frontier
+		}
+		rest &^= comp
+		k++
+	}
+	return k
+}
+
+// IsForest reports whether the graph is acyclic: m = n - #components, like
+// (*Graph).IsForest.
+func (s *Small) IsForest() bool {
+	return int(s.m) == int(s.n)-s.components()
+}
+
+// DegeneracyAtMost reports whether the degeneracy is ≤ k, by repeatedly
+// peeling every vertex whose remaining degree is ≤ k. Peeling a whole batch
+// per pass is sound: degrees only drop as the pass removes vertices, and if
+// no vertex qualifies the k-core is nonempty, so the degeneracy exceeds k.
+func (s *Small) DegeneracyAtMost(k int) bool {
+	if k < 0 {
+		return false // degeneracy is never negative, even for the empty graph
+	}
+	alive := s.vertMask()
+	for alive != 0 {
+		removed := uint16(0)
+		for w := alive; w != 0; w &= w - 1 {
+			v := bits.TrailingZeros16(w)
+			if bits.OnesCount16(s.adj[v]&alive) <= k {
+				removed |= 1 << uint(v)
+			}
+		}
+		if removed == 0 {
+			return false
+		}
+		alive &^= removed
+	}
+	return true
+}
+
+// IsBipartiteWithParts reports whether every edge crosses between the fixed
+// parts {1..half} and {half+1..n} — the Theorem 3 family, matching the
+// collide package's reference predicate.
+func (s *Small) IsBipartiteWithParts(half int) bool {
+	low := uint16(1)<<uint(half+1) - 2 // bits 1..half
+	for v := 1; v <= half; v++ {
+		if s.adj[v]&low != 0 {
+			return false
+		}
+	}
+	high := s.vertMask() &^ low
+	for v := half + 1; v <= int(s.n); v++ {
+		if s.adj[v]&high != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the same compact description as (*Graph).String. Value
+// receiver: EnumerateGraphsGray hands out Small by value, and only a value
+// receiver puts String in the value type's method set (fmt.Stringer).
+func (s Small) String() string {
+	return s.Graph().String()
+}

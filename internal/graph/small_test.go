@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+)
+
+// refBipartiteWithParts is the collide package's reference predicate: every
+// edge crosses between {1..half} and {half+1..n}.
+func refBipartiteWithParts(g *Graph, half int) bool {
+	for _, e := range g.Edges() {
+		if (e[0] <= half) == (e[1] <= half) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSmallMatchesGraph checks every Small predicate against its *Graph
+// counterpart on EVERY labelled graph with n ≤ 6 vertices — the differential
+// guarantee the zero-allocation enumeration engine rests on.
+func TestSmallMatchesGraph(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		total := n * (n - 1) / 2
+		for mask := uint64(0); mask < 1<<uint(total); mask++ {
+			s := SmallFromMask(n, mask)
+			g := FromEdgeMask(n, mask)
+			if s.N() != g.N() || s.M() != g.M() {
+				t.Fatalf("n=%d mask=%d: Small (n=%d,m=%d) vs Graph (n=%d,m=%d)",
+					n, mask, s.N(), s.M(), g.N(), g.M())
+			}
+			if got, want := s.HasSquare(), g.HasSquare(); got != want {
+				t.Fatalf("n=%d mask=%d: HasSquare %v, Graph says %v", n, mask, got, want)
+			}
+			if got, want := s.HasTriangle(), g.HasTriangle(); got != want {
+				t.Fatalf("n=%d mask=%d: HasTriangle %v, Graph says %v", n, mask, got, want)
+			}
+			if got, want := s.IsConnected(), g.IsConnected(); got != want {
+				t.Fatalf("n=%d mask=%d: IsConnected %v, Graph says %v", n, mask, got, want)
+			}
+			if got, want := s.IsForest(), g.IsForest(); got != want {
+				t.Fatalf("n=%d mask=%d: IsForest %v, Graph says %v", n, mask, got, want)
+			}
+			d, _ := g.Degeneracy()
+			for k := 0; k <= 3; k++ {
+				if got, want := s.DegeneracyAtMost(k), d <= k; got != want {
+					t.Fatalf("n=%d mask=%d k=%d: DegeneracyAtMost %v, degeneracy is %d",
+						n, mask, k, got, d)
+				}
+			}
+			half := n / 2
+			if got, want := s.IsBipartiteWithParts(half), refBipartiteWithParts(g, half); got != want {
+				t.Fatalf("n=%d mask=%d: IsBipartiteWithParts(%d) %v, reference says %v",
+					n, mask, half, got, want)
+			}
+		}
+	}
+}
+
+func TestSmallRoundTrip(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		total := n * (n - 1) / 2
+		for mask := uint64(0); mask < 1<<uint(total); mask++ {
+			s := SmallFromMask(n, mask)
+			if got := s.EdgeMask(); got != mask {
+				t.Fatalf("n=%d: EdgeMask round trip %d -> %d", n, mask, got)
+			}
+			if !s.Graph().Equal(FromEdgeMask(n, mask)) {
+				t.Fatalf("n=%d mask=%d: Graph() expansion differs", n, mask)
+			}
+		}
+	}
+}
+
+func TestSmallToggleEdge(t *testing.T) {
+	s := NewSmall(5)
+	if !s.ToggleEdge(2, 4) {
+		t.Fatal("toggle into existence reported absent")
+	}
+	if !s.HasEdge(4, 2) || s.M() != 1 {
+		t.Fatalf("edge {2,4} missing after toggle (m=%d)", s.M())
+	}
+	if s.ToggleEdge(4, 2) {
+		t.Fatal("toggle out of existence reported present")
+	}
+	if s.HasEdge(2, 4) || s.M() != 0 {
+		t.Fatalf("edge {2,4} present after second toggle (m=%d)", s.M())
+	}
+}
+
+func TestSmallDegreesAndNeighbors(t *testing.T) {
+	for _, mask := range []uint64{0, 1, 0b101101, 0x3ff} {
+		n := 5
+		s := SmallFromMask(n, mask)
+		g := FromEdgeMask(n, mask)
+		buf := make([]int, 0, n)
+		for v := 1; v <= n; v++ {
+			if s.Degree(v) != g.Degree(v) {
+				t.Fatalf("mask=%d v=%d: degree %d vs %d", mask, v, s.Degree(v), g.Degree(v))
+			}
+			buf = s.AppendNeighbors(v, buf[:0])
+			want := g.Neighbors(v)
+			if len(buf) != len(want) {
+				t.Fatalf("mask=%d v=%d: neighbors %v vs %v", mask, v, buf, want)
+			}
+			for i := range buf {
+				if buf[i] != want[i] {
+					t.Fatalf("mask=%d v=%d: neighbors %v vs %v", mask, v, buf, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGraphToggleEdge(t *testing.T) {
+	g := New(6)
+	if !g.ToggleEdge(1, 5) {
+		t.Fatal("toggle into existence reported absent")
+	}
+	if !g.HasEdge(5, 1) || g.M() != 1 {
+		t.Fatalf("edge {1,5} missing after toggle (m=%d)", g.M())
+	}
+	if g.ToggleEdge(5, 1) {
+		t.Fatal("toggle out of existence reported present")
+	}
+	if g.HasEdge(1, 5) || g.M() != 0 {
+		t.Fatalf("edge {1,5} present after second toggle (m=%d)", g.M())
+	}
+}
+
+func TestGraphAppendNeighborsNoAlloc(t *testing.T) {
+	g := MustFromEdges(6, [][2]int{{1, 2}, {1, 3}, {2, 3}, {4, 5}, {3, 6}})
+	buf := make([]int, 0, 6)
+	allocs := testing.AllocsPerRun(100, func() {
+		for v := 1; v <= 6; v++ {
+			buf = g.AppendNeighbors(v, buf[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendNeighbors allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestSmallPredicatesNoAlloc(t *testing.T) {
+	s := SmallFromMask(7, 0b101100111010101)
+	var sink bool
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = s.HasSquare() || s.HasTriangle() || s.IsConnected() ||
+			s.IsForest() || s.DegeneracyAtMost(2) || s.IsBipartiteWithParts(3)
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Errorf("Small predicates allocated %.1f objects per run, want 0", allocs)
+	}
+}

@@ -35,7 +35,9 @@ type NodeView struct {
 // id sends to the referee in a graph of n nodes when its neighborhood is
 // nbrs. Implementations must be pure functions of (n, id, nbrs) — the
 // reductions in internal/core evaluate them on hypothetical graphs that are
-// never materialized.
+// never materialized. The nbrs slice is only valid for the duration of the
+// call and must not be retained: the simulator and the collision search
+// reuse one neighbor buffer across millions of invocations.
 type Local interface {
 	LocalMessage(n, id int, nbrs []int) bits.String
 }
@@ -130,15 +132,15 @@ func View(g *graph.Graph, v int) NodeView {
 }
 
 // LocalPhase runs the local function of p at every node of g and returns the
-// message vector Γˡ(G) as a transcript.
+// message vector Γˡ(G) as a transcript. Sequential and Parallel reuse one
+// neighbor buffer per worker (see the Local contract), so the phase itself
+// allocates nothing per node beyond what the protocol does.
 func LocalPhase(g *graph.Graph, p Local, mode Mode) *Transcript {
 	n := g.N()
 	t := &Transcript{N: n, Messages: make([]bits.String, n)}
 	switch mode {
 	case Sequential:
-		for v := 1; v <= n; v++ {
-			t.Messages[v-1] = p.LocalMessage(n, v, g.Neighbors(v))
-		}
+		runNodeRange(g, p, t.Messages, 1, n)
 	case Parallel:
 		workers := runtime.GOMAXPROCS(0)
 		if workers > n {
@@ -147,21 +149,22 @@ func LocalPhase(g *graph.Graph, p Local, mode Mode) *Transcript {
 		if workers < 1 {
 			workers = 1
 		}
+		// Contiguous chunks instead of a per-vertex unbuffered channel: the
+		// old dispatch paid two goroutine handoffs per node, which dwarfed
+		// the local computation itself on all but the densest graphs.
+		chunk := (n + workers - 1) / workers
 		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
+		for lo := 1; lo <= n; lo += chunk {
+			hi := lo + chunk - 1
+			if hi > n {
+				hi = n
+			}
 			wg.Add(1)
-			go func() {
+			go func(lo, hi int) {
 				defer wg.Done()
-				for v := range next {
-					t.Messages[v-1] = p.LocalMessage(n, v, g.Neighbors(v))
-				}
-			}()
+				runNodeRange(g, p, t.Messages, lo, hi)
+			}(lo, hi)
 		}
-		for v := 1; v <= n; v++ {
-			next <- v
-		}
-		close(next)
 		wg.Wait()
 	case Async:
 		type delivery struct {
@@ -184,6 +187,17 @@ func LocalPhase(g *graph.Graph, p Local, mode Mode) *Transcript {
 		panic(fmt.Sprintf("sim: unknown mode %d", mode))
 	}
 	return t
+}
+
+// runNodeRange evaluates the local function at nodes lo..hi into msgs,
+// reusing a single neighbor buffer across the range.
+func runNodeRange(g *graph.Graph, p Local, msgs []bits.String, lo, hi int) {
+	n := g.N()
+	nbrs := make([]int, 0, n)
+	for v := lo; v <= hi; v++ {
+		nbrs = g.AppendNeighbors(v, nbrs[:0])
+		msgs[v-1] = p.LocalMessage(n, v, nbrs)
+	}
 }
 
 // RunDecider executes a full one-round decision protocol on g.
