@@ -11,6 +11,7 @@ import (
 	"refereenet/internal/collide"
 	"refereenet/internal/congest"
 	"refereenet/internal/core"
+	"refereenet/internal/engine"
 	"refereenet/internal/experiments"
 	"refereenet/internal/gen"
 	"refereenet/internal/graph"
@@ -134,6 +135,82 @@ func BenchmarkReferee(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkRunBatch is the batched execution path: one registered protocol
+// over a stream of 10⁴ generated graphs per op. The serial variant is the
+// allocation-free steady state (per-worker writer + byte arena, reused
+// message vectors); the pool variant fans graphs over all CPUs; the gray
+// variants stream every labelled n=6 graph out of the Gray-code enumerator.
+func BenchmarkRunBatch(b *testing.B) {
+	const corpus = 10000
+	rng := gen.NewRand(42)
+	graphs := make([]*graph.Graph, corpus)
+	for i := range graphs {
+		graphs[i] = gen.RandomForest(rng, 32, 3)
+	}
+	forest, ok := engine.New("forest", engine.Config{N: 32})
+	if !ok {
+		b.Fatal("forest not registered")
+	}
+	degree, ok := engine.New("degree", engine.Config{})
+	if !ok {
+		b.Fatal("degree not registered")
+	}
+
+	b.Run("serial/forest/10k", func(b *testing.B) {
+		bt := engine.NewBatch(forest, engine.BatchOptions{Workers: 1, MaxN: 32})
+		defer bt.Close()
+		src := engine.NewSliceSource(graphs)
+		bt.Run(src) // warm the scratch before measuring
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Reset()
+			if st := bt.Run(src); st.Graphs != corpus {
+				b.Fatalf("ran %d graphs", st.Graphs)
+			}
+		}
+	})
+	b.Run("pool/forest/10k", func(b *testing.B) {
+		bt := engine.NewBatch(forest, engine.BatchOptions{MaxN: 32})
+		defer bt.Close()
+		src := engine.NewSliceSource(graphs)
+		bt.Run(src)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Reset()
+			if st := bt.Run(src); st.Graphs != corpus {
+				b.Fatalf("ran %d graphs", st.Graphs)
+			}
+		}
+	})
+	b.Run("gray/degree/n=6", func(b *testing.B) {
+		bt := engine.NewBatch(degree, engine.BatchOptions{Workers: 1})
+		defer bt.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			st := bt.Run(collide.NewGraySource(6))
+			if st.Graphs != 1<<15 {
+				b.Fatalf("ran %d graphs", st.Graphs)
+			}
+		}
+	})
+	b.Run("grayshards/degree/n=6", func(b *testing.B) {
+		bt := engine.NewBatch(degree, engine.BatchOptions{})
+		defer bt.Close()
+		const total = uint64(1) << 15
+		for i := 0; i < b.N; i++ {
+			srcs := make([]engine.Source, 0, 8)
+			for s := uint64(0); s < 8; s++ {
+				srcs = append(srcs, collide.NewGraySourceRange(6, s*total/8, (s+1)*total/8))
+			}
+			if st := bt.RunShards(srcs...); st.Graphs != total {
+				b.Fatalf("ran %d graphs", st.Graphs)
+			}
+		}
+	})
 }
 
 func BenchmarkLocalPhaseModes(b *testing.B) {

@@ -1,111 +1,133 @@
 // Command refereesim runs a one-round protocol on a generated graph and
 // prints the transcript: per-message bits, frugality ratio, and whether the
-// referee's output is correct.
+// referee's output is correct. Protocols are resolved through the engine's
+// registry (every protocol internal/core, internal/sketch and
+// internal/collide register) and schedulers through the engine's scheduler
+// names, so any registered protocol × scheduler × family combination is a
+// runnable scenario.
 //
 // Usage:
 //
-//	refereesim -gen ktree -n 64 -k 3 -protocol degeneracy -mode parallel
-//	refereesim -gen gnp -n 32 -p 0.2 -protocol sketch
-//	refereesim -gen tree -n 100 -protocol forest
+//	refereesim -gen ktree -n 64 -k 3 -protocol degeneracy -sched chunked
+//	refereesim -gen gnp -n 32 -p 0.2 -protocol sketch-conn
+//	refereesim -gen tree -n 100 -protocol forest -sched congest
+//	refereesim -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"refereenet/internal/congest"
 	"refereenet/internal/core"
+	"refereenet/internal/engine"
 	"refereenet/internal/gen"
 	"refereenet/internal/graph"
 	"refereenet/internal/sim"
-	"refereenet/internal/sketch"
+
+	// Registered for their engine registry entries (strawmen, sketch-conn).
+	_ "refereenet/internal/collide"
+	_ "refereenet/internal/sketch"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("refereesim: ")
-	genName := flag.String("gen", "ktree", "graph family: tree|forest|ktree|apollonian|grid|gnp|bipartite|pg|star|cycle|hypercube|fattree")
+	genName := flag.String("gen", "ktree", fmt.Sprintf("graph family: %v", gen.FamilyNames()))
 	n := flag.Int("n", 64, "number of vertices (family-dependent)")
-	k := flag.Int("k", 3, "degeneracy bound / k-tree parameter")
+	k := flag.Int("k", 3, "protocol / family structural parameter (degeneracy bound, k-tree order, ...)")
 	p := flag.Float64("p", 0.2, "edge probability for gnp/bipartite")
-	seed := flag.Int64("seed", 1, "random seed")
-	protocol := flag.String("protocol", "degeneracy", "protocol: degeneracy|forest|generalized|bounded|sketch|adaptive|oracle-square|oracle-triangle|oracle-diam3|oracle-conn")
-	mode := flag.String("mode", "sequential", "execution mode: sequential|parallel|async")
+	seed := flag.Int64("seed", 1, "random seed (graph generation and public randomness)")
+	protocol := flag.String("protocol", "degeneracy", "registered protocol (see -list), or 'adaptive' for the multi-round extension")
+	sched := flag.String("sched", "serial", fmt.Sprintf("scheduler: %v, 'congest' (realize on G ∪ {v₀}), or legacy aliases sequential|parallel", engine.SchedulerNames()))
 	dot := flag.Bool("dot", false, "print the input graph in DOT format and exit")
-	overCongest := flag.Bool("congest", false, "realize the round as a CONGEST execution on G ∪ {v₀} instead of the abstract model")
+	overCongest := flag.Bool("congest", false, "alias for -sched congest")
+	list := flag.Bool("list", false, "list registered protocols and exit")
 	flag.Parse()
 
-	g := makeGraph(*genName, *n, *k, *p, *seed)
+	if *list {
+		for _, name := range engine.Names() {
+			r, _ := engine.Lookup(name)
+			fmt.Printf("%-20s %s\n", name, r.Description)
+		}
+		return
+	}
+
+	g, err := gen.ByName(gen.NewRand(*seed), *genName, *n, *k, *p)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *dot {
 		fmt.Print(g.DOT("G"))
 		return
 	}
-	m := parseMode(*mode)
 	fmt.Printf("input: %s n=%d m=%d", *genName, g.N(), g.M())
 	d, _ := g.Degeneracy()
 	fmt.Printf(" degeneracy=%d\n", d)
 
-	if *overCongest {
-		runOverCongest(g, *protocol, *k)
+	if *protocol == "adaptive" {
+		runAdaptive(g, *sched)
 		return
 	}
-	switch *protocol {
-	case "degeneracy":
-		runReconstructor(g, &core.DegeneracyProtocol{K: *k}, m)
-	case "generalized":
-		runReconstructor(g, &core.GeneralizedDegeneracyProtocol{K: *k}, m)
-	case "forest":
-		runReconstructor(g, core.ForestProtocol{}, m)
-	case "bounded":
-		runReconstructor(g, core.BoundedDegreeProtocol{D: *k}, m)
-	case "sketch":
-		sc := sketch.NewSketchConnectivity(g.N(), *seed)
-		ans, tr, err := sim.RunDecider(g, sc, m)
+	pr, ok := engine.New(*protocol, engine.Config{N: g.N(), K: *k, Seed: *seed})
+	if !ok {
+		log.Fatalf("unknown protocol %q (try -list)", *protocol)
+	}
+	if *overCongest || *sched == "congest" {
+		runOverCongest(g, *protocol, pr)
+		return
+	}
+	s, ok := engine.SchedulerByName(*sched)
+	if !ok {
+		log.Fatalf("unknown scheduler %q (known: %v, congest)", *sched, engine.SchedulerNames())
+	}
+	switch impl := pr.(type) {
+	case engine.Reconstructor:
+		h, tr, err := engine.RunReconstructor(g, impl, s)
+		report(tr)
+		if err != nil {
+			log.Fatalf("referee failed: %v", err)
+		}
+		fmt.Printf("reconstruction exact: %v\n", h.Equal(g))
+	case engine.Decider:
+		ans, tr, err := engine.RunDecider(g, impl, s)
 		report(tr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("referee says connected=%v (truth: %v)\n", ans, g.IsConnected())
-	case "adaptive":
-		res, err := sim.RunMultiRound(g, &core.AdaptiveReconstruction{}, 16, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		h := res.Output.(*graph.Graph)
-		fmt.Printf("rounds=%d maxBits=%d broadcastBits=%d exact=%v\n",
-			res.Rounds, res.MaxNodeBits(), res.BroadcastBits, h.Equal(g))
-	case "oracle-square", "oracle-triangle", "oracle-diam3", "oracle-conn":
-		o := map[string]*core.OracleDecider{
-			"oracle-square":   core.NewSquareOracle(),
-			"oracle-triangle": core.NewTriangleOracle(),
-			"oracle-diam3":    core.NewDiameterOracle(3),
-			"oracle-conn":     core.NewConnectivityOracle(),
-		}[*protocol]
-		ans, tr, err := sim.RunDecider(g, o, m)
-		report(tr)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%s answers %v\n", o.Name(), ans)
+		fmt.Printf("%s answers %v\n", protoName(pr, *protocol), ans)
 	default:
-		log.Fatalf("unknown protocol %q", *protocol)
-		os.Exit(2)
+		// Local-only protocol (the strawmen): report the transcript.
+		report(engine.LocalPhase(g, pr, s))
 	}
 }
 
-func runOverCongest(g *graph.Graph, protocol string, k int) {
-	var r sim.Reconstructor
-	switch protocol {
-	case "degeneracy":
-		r = &core.DegeneracyProtocol{K: k}
-	case "forest":
-		r = core.ForestProtocol{}
-	case "generalized":
-		r = &core.GeneralizedDegeneracyProtocol{K: k}
+func runAdaptive(g *graph.Graph, sched string) {
+	var mode sim.Mode
+	switch sched {
+	case "serial", "sequential":
+		mode = sim.Sequential
+	case "chunked", "parallel":
+		mode = sim.Parallel
+	case "async":
+		mode = sim.Async
 	default:
-		log.Fatalf("-congest supports reconstruction protocols only, not %q", protocol)
+		log.Fatalf("adaptive supports schedulers %v, not %q", engine.SchedulerNames(), sched)
+	}
+	res, err := sim.RunMultiRound(g, &core.AdaptiveReconstruction{}, 16, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := res.Output.(*graph.Graph)
+	fmt.Printf("rounds=%d maxBits=%d broadcastBits=%d exact=%v\n",
+		res.Rounds, res.MaxNodeBits(), res.BroadcastBits, h.Equal(g))
+}
+
+func runOverCongest(g *graph.Graph, name string, pr engine.Local) {
+	r, ok := pr.(engine.Reconstructor)
+	if !ok {
+		log.Fatalf("-sched congest supports reconstruction protocols only, not %q", name)
 	}
 	h, eng, err := congest.RunReconstructor(g, r)
 	if err != nil {
@@ -123,71 +145,14 @@ func runOverCongest(g *graph.Graph, protocol string, k int) {
 	fmt.Printf("reconstruction exact: %v\n", h.Equal(g))
 }
 
-func runReconstructor(g *graph.Graph, r sim.Reconstructor, m sim.Mode) {
-	h, tr, err := sim.RunReconstructor(g, r, m)
-	report(tr)
-	if err != nil {
-		log.Fatalf("referee failed: %v", err)
-	}
-	fmt.Printf("reconstruction exact: %v\n", h.Equal(g))
-}
-
-func report(tr *sim.Transcript) {
+func report(tr *engine.Transcript) {
 	fmt.Printf("messages: n=%d maxBits=%d totalBits=%d frugality=%.2f·log n\n",
 		tr.N, tr.MaxBits(), tr.TotalBits(), tr.FrugalityRatio())
 }
 
-func parseMode(s string) sim.Mode {
-	switch s {
-	case "sequential":
-		return sim.Sequential
-	case "parallel":
-		return sim.Parallel
-	case "async":
-		return sim.Async
-	default:
-		log.Fatalf("unknown mode %q", s)
-		return sim.Sequential
+func protoName(p engine.Local, fallback string) string {
+	if n, ok := p.(engine.Named); ok {
+		return n.Name()
 	}
-}
-
-func makeGraph(name string, n, k int, p float64, seed int64) *graph.Graph {
-	rng := gen.NewRand(seed)
-	switch name {
-	case "tree":
-		return gen.RandomTree(rng, n)
-	case "forest":
-		return gen.RandomForest(rng, n, 4)
-	case "ktree":
-		return gen.KTree(rng, n, k)
-	case "apollonian":
-		return gen.Apollonian(rng, n)
-	case "grid":
-		side := 1
-		for side*side < n {
-			side++
-		}
-		return gen.Grid(side, side)
-	case "gnp":
-		return gen.Gnp(rng, n, p)
-	case "bipartite":
-		return gen.RandomBipartite(rng, n/2, n-n/2, p)
-	case "pg":
-		return gen.ProjectivePlaneIncidence(k)
-	case "star":
-		return gen.Star(n)
-	case "cycle":
-		return gen.Cycle(n)
-	case "hypercube":
-		d := 0
-		for 1<<uint(d) < n {
-			d++
-		}
-		return gen.Hypercube(d)
-	case "fattree":
-		return gen.FatTree(k)
-	default:
-		log.Fatalf("unknown generator %q", name)
-		return nil
-	}
+	return fallback
 }

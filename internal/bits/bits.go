@@ -177,6 +177,26 @@ func (w *Writer) String() String {
 	return String{data: data, n: w.n}
 }
 
+// Reset clears the writer for reuse, keeping its buffer capacity. Together
+// with AppendTo it lets a hot loop (the batch engine's local phase) emit one
+// String per node with zero steady-state allocations.
+func (w *Writer) Reset() {
+	w.data = w.data[:0]
+	w.n = 0
+}
+
+// AppendTo appends the written bytes to arena and returns the bits as a
+// String aliasing the appended region, plus the extended arena. The returned
+// String stays valid as long as its region of the arena is not overwritten —
+// callers reusing an arena (arena = arena[:0]) invalidate every String
+// produced from it, which is the batch engine's per-graph transcript
+// contract. The writer itself may be Reset and reused immediately.
+func (w *Writer) AppendTo(arena []byte) (String, []byte) {
+	start := len(arena)
+	arena = append(arena, w.data...)
+	return String{data: arena[start:len(arena):len(arena)], n: w.n}, arena
+}
+
 // Reader consumes a String from the front. Reads past the end return an
 // error rather than panicking: a referee must be able to reject malformed
 // messages gracefully.

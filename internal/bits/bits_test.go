@@ -308,3 +308,62 @@ func TestReadEliasDeltaCorrupt(t *testing.T) {
 		t.Error("truncated delta should fail")
 	}
 }
+
+func TestWriterResetReuse(t *testing.T) {
+	var w Writer
+	w.WriteUint(0b1011, 4)
+	first := w.String()
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len after reset = %d", w.Len())
+	}
+	w.WriteUint(0b01, 2)
+	second := w.String()
+	if !first.Equal(FromBits(1, 0, 1, 1)) {
+		t.Errorf("first corrupted by reset: %v", first)
+	}
+	if !second.Equal(FromBits(0, 1)) {
+		t.Errorf("second = %v", second)
+	}
+}
+
+func TestWriterAppendTo(t *testing.T) {
+	var arena []byte
+	var w Writer
+	var got []String
+	want := []String{FromBits(1, 0, 1), FromBits(), FromBits(0, 1, 1, 1, 1, 0, 0, 0, 1)}
+	for _, s := range want {
+		w.Reset()
+		for i := 0; i < s.Len(); i++ {
+			w.WriteBit(s.Bit(i))
+		}
+		var out String
+		out, arena = w.AppendTo(arena)
+		got = append(got, out)
+	}
+	// Every earlier String must survive later appends (including arena
+	// growth reallocations).
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("message %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriterAppendToSteadyStateAllocFree(t *testing.T) {
+	arena := make([]byte, 0, 64)
+	var w Writer
+	w.WriteUint(0xAB, 8) // pre-grow the writer buffer
+	w.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		arena = arena[:0]
+		for i := 0; i < 8; i++ {
+			w.Reset()
+			w.WriteUint(uint64(i), 6)
+			_, arena = w.AppendTo(arena)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AppendTo allocated %.1f objects, want 0", allocs)
+	}
+}

@@ -282,7 +282,7 @@ func TestCertificateRoundTrip(t *testing.T) {
 	}
 }
 
-var _ sim.Local = localFunc(nil)
+var _ sim.Local = bufferedFunc(nil)
 
 func TestCountParallelMatchesSequential(t *testing.T) {
 	for _, n := range []int{3, 4, 5, 6} {

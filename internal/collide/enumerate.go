@@ -14,10 +14,15 @@ import (
 	"refereenet/internal/graph"
 )
 
-// MaxEnumerationN bounds exhaustive enumeration: C(8,2) = 28 edge bits is
-// 2.7·10⁸ graphs, beyond the budget of a test suite; 7 (2 097 152 graphs)
-// is the practical ceiling.
-const MaxEnumerationN = 7
+// MaxEnumerationN bounds exhaustive enumeration. With the zero-allocation
+// Gray-code engine (word-packed graph.Small, one edge toggle per step) the
+// 2.7·10⁸ graphs at n = 8 (C(8,2) = 28 edge bits) cost CPU only, so 8 is now
+// in budget for CountParallel — a sharded n = 8 count takes a couple of
+// seconds on a modern machine, ~128× the n = 7 work. Callers that sweep to
+// the ceiling should gate n = 8 behind an explicit opt-in (cmd/collide's
+// -big flag) or testing.Short() awareness; graph.Small itself supports
+// n ≤ 11, but C(9,2) = 36 edge bits (6.9·10¹⁰ graphs) is out of reach.
+const MaxEnumerationN = 8
 
 // EnumerateGraphs calls visit on every labelled graph with vertex set
 // {1..n}, in edge-mask order, stopping early if visit returns false.

@@ -1,0 +1,78 @@
+package collide
+
+import (
+	"testing"
+
+	"refereenet/internal/graph"
+)
+
+// The n = 8 ceiling (raised from 7 once the Gray-code engine made the
+// 2.7·10⁸ graphs CPU-only): mechanics are checked cheaply on rank windows,
+// and the full sharded count — ~half a minute on one core, seconds on many —
+// runs only outside -short.
+
+// TestGrayRangeMechanicsN8 walks small windows of the n = 8 rank space,
+// including the wraparound-heavy tail, checking mask/graph agreement without
+// paying for the full enumeration.
+func TestGrayRangeMechanicsN8(t *testing.T) {
+	const total = uint64(1) << 28
+	windows := [][2]uint64{
+		{0, 4096},
+		{total/2 - 1024, total/2 + 1024},
+		{total - 4096, total},
+	}
+	for _, w := range windows {
+		var visited uint64
+		EnumerateGraphsGrayRange(8, w[0], w[1], func(mask uint64, s graph.Small) bool {
+			rank := w[0] + visited
+			if want := rank ^ (rank >> 1); mask != want {
+				t.Fatalf("rank %d: mask %d, want gray %d", rank, mask, want)
+			}
+			if got := s.EdgeMask(); got != mask {
+				t.Fatalf("rank %d: Small mask %d != reported %d", rank, got, mask)
+			}
+			visited++
+			return true
+		})
+		if visited != w[1]-w[0] {
+			t.Fatalf("window %v visited %d graphs", w, visited)
+		}
+	}
+	// Disjoint shards must partition the windowed space exactly once.
+	seen := make(map[uint64]bool, 8192)
+	for _, b := range [][2]uint64{{0, 3000}, {3000, 8192}} {
+		EnumerateGraphsGrayRange(8, b[0], b[1], func(mask uint64, _ graph.Small) bool {
+			if seen[mask] {
+				t.Fatalf("mask %d visited twice across shards", mask)
+			}
+			seen[mask] = true
+			return true
+		})
+	}
+	if len(seen) != 8192 {
+		t.Fatalf("shards covered %d masks, want 8192", len(seen))
+	}
+}
+
+// TestCountParallelN8 is the full exhaustive count at the new ceiling,
+// checked against the published sequences: connected labelled graphs on 8
+// vertices (OEIS A001187) and labelled forests on 8 vertices (OEIS A001858),
+// plus the closed forms 2^C(8,2) and 2^{4·4}.
+func TestCountParallelN8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=8 enumerates 2.7e8 graphs; skipped under -short")
+	}
+	fc := CountParallel(8)
+	if fc.All != 1<<28 {
+		t.Errorf("All = %d, want 2^28 = %d", fc.All, uint64(1)<<28)
+	}
+	if fc.Bipartite != 1<<16 {
+		t.Errorf("Bipartite = %d, want 2^16 = %d", fc.Bipartite, uint64(1)<<16)
+	}
+	if fc.Connected != 251548592 {
+		t.Errorf("Connected = %d, want 251548592 (A001187)", fc.Connected)
+	}
+	if fc.Forests != 561948 {
+		t.Errorf("Forests = %d, want 561948 (A001858)", fc.Forests)
+	}
+}

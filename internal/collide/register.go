@@ -1,0 +1,54 @@
+package collide
+
+import "refereenet/internal/engine"
+
+// The strawman lineup, registered under the flag-friendly names the cmd
+// tools use. Every entry is a frugal local function the paper's theorems
+// doom; having them in the registry makes "strawman × scheduler × family"
+// a runnable batch scenario.
+
+func init() {
+	for _, e := range RegistryStrawmen() {
+		e := e
+		engine.Register(engine.Registration{
+			Name:        e.Name,
+			Description: "strawman " + e.Strawman.Label + ": frugal sketch for collision searches",
+			New:         func(engine.Config) engine.Local { return e.Strawman.Local },
+		})
+	}
+}
+
+// NamedStrawman pairs a Strawman with its registry / flag name.
+type NamedStrawman struct {
+	Name     string
+	Strawman Strawman
+}
+
+// RegistryStrawmen lists every strawman with its canonical short name — the
+// single vocabulary shared by the engine registry and cmd/collide's
+// -protocol flag.
+func RegistryStrawmen() []NamedStrawman {
+	return []NamedStrawman{
+		{"degree", DegreeOnly()},
+		{"degree+sum", DegreeSum()},
+		{"powersums2", PowerSums(2)},
+		{"powersums3", PowerSums(3)},
+		{"hash2", HashSketch(2)},
+		{"hash3", HashSketch(3)},
+		{"hash16", HashSketch(16)},
+		{"mod3", NeighborhoodMod(3)},
+		{"mod7", NeighborhoodMod(7)},
+		{"mod257", NeighborhoodMod(257)},
+		{"trunc", TruncatedSum(1, 2)},
+	}
+}
+
+// StrawmanByName resolves a strawman by registry name or exact label.
+func StrawmanByName(name string) (Strawman, bool) {
+	for _, e := range RegistryStrawmen() {
+		if e.Name == name || e.Strawman.Label == name {
+			return e.Strawman, true
+		}
+	}
+	return Strawman{}, false
+}

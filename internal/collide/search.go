@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"refereenet/internal/bits"
+	"refereenet/internal/engine"
 	"refereenet/internal/graph"
 	"refereenet/internal/sim"
 )
@@ -34,26 +35,12 @@ func (c *Certificate) String() string {
 }
 
 // messageVector runs the local phase of p over g (by direct evaluation —
-// cheaper than sim.LocalPhase for millions of graphs).
+// cheaper than a full transcript for millions of graphs).
 func messageVector(p sim.Local, g *graph.Graph) []bits.String {
 	n := g.N()
 	msgs := make([]bits.String, n)
-	fillMessageVector(p, g, msgs, make([]int, 0, n))
+	engine.Fill(g, p, msgs, make([]int, 0, n))
 	return msgs
-}
-
-// fillMessageVector is messageVector into caller-owned storage: dst holds
-// the n messages and nbrs (cap ≥ n-1) is the reusable neighbor scratch, so
-// the enumeration loops below evaluate protocols without per-graph slice
-// allocations. Implementations of sim.Local must not retain nbrs (they are
-// pure functions of their arguments — Definition 1), which is what makes the
-// reuse sound.
-func fillMessageVector(p sim.Local, g *graph.Graph, dst []bits.String, nbrs []int) {
-	n := g.N()
-	for v := 1; v <= n; v++ {
-		nbrs = g.AppendNeighbors(v, nbrs[:0])
-		dst[v-1] = p.LocalMessage(n, v, nbrs)
-	}
 }
 
 func vectorFingerprint(msgs []bits.String) uint64 {
@@ -108,7 +95,7 @@ func FindDecisionCollision(p sim.Local, pred func(*graph.Graph) bool, n int, fam
 		if family != nil && !family(g) {
 			return true
 		}
-		fillMessageVector(p, g, msgs, nbrs)
+		nbrs = engine.Fill(g, p, msgs, nbrs)
 		fp := vectorFingerprint(msgs)
 		pv := pred(g)
 		for _, e := range buckets[fp] {
@@ -144,7 +131,7 @@ func FindReconstructionCollision(p sim.Local, n int, family func(*graph.Graph) b
 		if family != nil && !family(g) {
 			return true
 		}
-		fillMessageVector(p, g, msgs, nbrs)
+		nbrs = engine.Fill(g, p, msgs, nbrs)
 		fp := vectorFingerprint(msgs)
 		for _, om := range buckets[fp] {
 			other := graph.FromEdgeMask(n, om)
@@ -176,7 +163,7 @@ func CountDistinctVectors(p sim.Local, n int, family func(*graph.Graph) bool) (d
 			return true
 		}
 		familySize++
-		fillMessageVector(p, g, msgs, nbrs)
+		nbrs = engine.Fill(g, p, msgs, nbrs)
 		fp := vectorFingerprint(msgs)
 		b, ok := buckets[fp]
 		if !ok {

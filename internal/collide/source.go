@@ -1,0 +1,72 @@
+package collide
+
+import (
+	"fmt"
+	"math/bits"
+
+	"refereenet/internal/graph"
+)
+
+// GraySource streams every labelled graph of a Gray-code rank range through
+// ONE reused *graph.Graph, toggling a single edge per step — the
+// zero-allocation enumeration engine exposed as a pull-style stream for
+// engine.RunBatch. The yielded pointer is only valid until the next Next
+// call, which GraySource reports by implementing engine.Volatile; batch runs
+// therefore keep it on a single goroutine. To parallelize, split the rank
+// space into per-worker ranges (NewGraySourceRange) and use
+// Batch.RunShards — disjoint rank ranges cover disjoint mask sets.
+type GraySource struct {
+	n       int
+	next    uint64 // next rank to visit
+	hi      uint64
+	mask    uint64
+	g       *graph.Graph
+	us, vs  [64]int
+	started bool
+}
+
+// NewGraySource streams all 2^C(n,2) labelled graphs on {1..n}.
+func NewGraySource(n int) *GraySource {
+	total := uint(n * (n - 1) / 2)
+	return NewGraySourceRange(n, 0, 1<<total)
+}
+
+// NewGraySourceRange streams the Gray-code ranks [lo, hi).
+func NewGraySourceRange(n int, lo, hi uint64) *GraySource {
+	if n > MaxEnumerationN {
+		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
+	}
+	total := uint(n * (n - 1) / 2)
+	if hi > 1<<total || lo > hi {
+		panic(fmt.Sprintf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n))
+	}
+	s := &GraySource{n: n, next: lo, hi: hi}
+	edgePairs(n, &s.us, &s.vs)
+	return s
+}
+
+// Next implements engine.Source. The returned graph is reused by the next
+// call and must not be retained.
+func (s *GraySource) Next() *graph.Graph {
+	if s.next >= s.hi {
+		return nil
+	}
+	if !s.started {
+		s.started = true
+		s.mask = s.next ^ (s.next >> 1)
+		s.g = graph.FromEdgeMask(s.n, s.mask)
+		s.next++
+		return s.g
+	}
+	bit := bits.TrailingZeros64(s.next)
+	s.mask ^= 1 << uint(bit)
+	s.g.ToggleEdge(s.us[bit], s.vs[bit])
+	s.next++
+	return s.g
+}
+
+// Mask returns the edge mask of the graph most recently yielded by Next.
+func (s *GraySource) Mask() uint64 { return s.mask }
+
+// Volatile implements engine.Volatile: Next reuses one graph.
+func (s *GraySource) Volatile() bool { return true }

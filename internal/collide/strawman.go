@@ -20,20 +20,29 @@ type Strawman struct {
 	Local sim.Local
 }
 
-// localFunc adapts a function literal to sim.Local.
-type localFunc func(n, id int, nbrs []int) bits.String
+// bufferedFunc adapts a writer-style function literal to sim.Local AND
+// engine.BufferedLocal: each strawman is defined once as an append into a
+// caller-owned writer, so batch runs evaluate it without allocating, while
+// LocalMessage derives the immutable-String form for everything else.
+type bufferedFunc func(w *bits.Writer, n, id int, nbrs []int)
 
-func (f localFunc) LocalMessage(n, id int, nbrs []int) bits.String { return f(n, id, nbrs) }
+func (f bufferedFunc) LocalMessage(n, id int, nbrs []int) bits.String {
+	var w bits.Writer
+	f(&w, n, id, nbrs)
+	return w.String()
+}
+
+func (f bufferedFunc) AppendLocalMessage(w *bits.Writer, n, id int, nbrs []int) {
+	f(w, n, id, nbrs)
+}
 
 // DegreeOnly sends just deg(v) — the weakest plausible sketch.
 func DegreeOnly() Strawman {
 	return Strawman{
 		Label: "degree",
 		Bits:  func(n int) int { return bits.Width(n) },
-		Local: localFunc(func(n, id int, nbrs []int) bits.String {
-			var w bits.Writer
+		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
-			return w.String()
 		}),
 	}
 }
@@ -44,15 +53,13 @@ func DegreeSum() Strawman {
 	return Strawman{
 		Label: "degree+sum",
 		Bits:  func(n int) int { return bits.Width(n) + numeric.MaxPowerSumBits(n, 1) },
-		Local: localFunc(func(n, id int, nbrs []int) bits.String {
-			var w bits.Writer
+		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
 			sum := uint64(0)
 			for _, x := range nbrs {
 				sum += uint64(x)
 			}
 			w.WriteUint(sum, numeric.MaxPowerSumBits(n, 1))
-			return w.String()
 		}),
 	}
 }
@@ -71,14 +78,12 @@ func PowerSums(k int) Strawman {
 			}
 			return total
 		},
-		Local: localFunc(func(n, id int, nbrs []int) bits.String {
-			var w bits.Writer
+		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
 			sums := numeric.PowerSums(nbrs, k)
 			for q := 1; q <= k; q++ {
 				w.WriteBigIntWidth(sums[q-1], numeric.MaxPowerSumBits(n, q))
 			}
-			return w.String()
 		}),
 	}
 }
@@ -91,15 +96,13 @@ func HashSketch(b int) Strawman {
 	return Strawman{
 		Label: fmt.Sprintf("hash[%db]", b),
 		Bits:  func(int) int { return b },
-		Local: localFunc(func(n, id int, nbrs []int) bits.String {
+		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			h := uint64(fnvOffset)
 			h = fnvMix(h, uint64(id))
 			for _, x := range nbrs {
 				h = fnvMix(h, uint64(x))
 			}
-			var w bits.Writer
 			w.WriteUint(h&(1<<uint(b)-1), b)
-			return w.String()
 		}),
 	}
 }
@@ -111,15 +114,13 @@ func NeighborhoodMod(p uint64) Strawman {
 	return Strawman{
 		Label: fmt.Sprintf("mod[%d]", p),
 		Bits:  func(n int) int { return bits.Width(n) + width },
-		Local: localFunc(func(n, id int, nbrs []int) bits.String {
-			var w bits.Writer
+		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
 			sum := uint64(0)
 			for _, x := range nbrs {
 				sum = (sum + uint64(x)) % p
 			}
 			w.WriteUint(sum, width)
-			return w.String()
 		}),
 	}
 }
@@ -131,15 +132,13 @@ func TruncatedSum(degBits, sumBits int) Strawman {
 	return Strawman{
 		Label: fmt.Sprintf("trunc[%d+%db]", degBits, sumBits),
 		Bits:  func(int) int { return degBits + sumBits },
-		Local: localFunc(func(n, id int, nbrs []int) bits.String {
-			var w bits.Writer
+		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs))&(1<<uint(degBits)-1), degBits)
 			sum := uint64(0)
 			for _, x := range nbrs {
 				sum += uint64(x)
 			}
 			w.WriteUint(sum&(1<<uint(sumBits)-1), sumBits)
-			return w.String()
 		}),
 	}
 }

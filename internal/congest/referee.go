@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"refereenet/internal/bits"
+	"refereenet/internal/engine"
 	"refereenet/internal/graph"
-	"refereenet/internal/sim"
 )
 
 // StarNetwork builds the paper's interconnection network 𝒢 = G ∪ {v₀}: the
@@ -28,7 +28,7 @@ func StarNetwork(g *graph.Graph) (*graph.Graph, int) {
 // includes the referee, which it must strip before invoking the local
 // function — the model's nodes know N_G(v), not N_𝒢(v).
 type workerNode struct {
-	protocol  sim.Local
+	protocol  engine.Local
 	refereeID int
 	msg       Message
 }
@@ -87,9 +87,9 @@ func (r *refereeNode) Round(round int, inbox []Message) ([]Message, bool) {
 // RunOneRound executes a one-round referee protocol as a real CONGEST
 // execution on the star-augmented network and returns the referee's message
 // vector plus the engine (for traffic accounting). The vector is, message
-// for message, what sim.LocalPhase produces — the restriction the paper
-// describes, realized.
-func RunOneRound(g *graph.Graph, p sim.Local) ([]bits.String, *Engine, error) {
+// for message, what any engine.Scheduler produces — the restriction the
+// paper describes, realized.
+func RunOneRound(g *graph.Graph, p engine.Local) ([]bits.String, *Engine, error) {
 	star, refID := StarNetwork(g)
 	eng := NewEngine(star)
 	ref := &refereeNode{}
@@ -106,23 +106,50 @@ func RunOneRound(g *graph.Graph, p sim.Local) ([]bits.String, *Engine, error) {
 	return ref.messages, eng, nil
 }
 
+// Sched realizes the local phase as a CONGEST execution: it is the referee
+// adapter as an engine.Scheduler, so the unified pipeline (transcript, bit
+// accounting, the referee's global function) is exactly the one every other
+// execution path uses — only the substrate carrying the messages differs.
+// After a Run, Eng holds the CONGEST engine for traffic inspection and Err
+// any delivery failure (which the engine-level referee call then surfaces,
+// since an undelivered message vector cannot decode).
+type Sched struct {
+	Eng *Engine
+	Err error
+}
+
+// Name implements engine.Scheduler.
+func (s *Sched) Name() string { return "congest" }
+
+// Run implements engine.Scheduler.
+func (s *Sched) Run(g *graph.Graph, p engine.Local, msgs []bits.String) {
+	ms, eng, err := RunOneRound(g, p)
+	s.Eng, s.Err = eng, err
+	if err != nil {
+		return
+	}
+	copy(msgs, ms)
+}
+
 // RunReconstructor drives a full reconstruction protocol over the CONGEST
 // realization.
-func RunReconstructor(g *graph.Graph, r sim.Reconstructor) (*graph.Graph, *Engine, error) {
-	msgs, eng, err := RunOneRound(g, r)
-	if err != nil {
-		return nil, eng, err
+func RunReconstructor(g *graph.Graph, r engine.Reconstructor) (*graph.Graph, *Engine, error) {
+	s := &Sched{}
+	h, _, err := engine.RunReconstructor(g, r, s)
+	if s.Err != nil {
+		return nil, s.Eng, s.Err
 	}
-	h, err := r.Reconstruct(g.N(), msgs)
-	return h, eng, err
+	return h, s.Eng, err
 }
 
 // RunDecider drives a full decision protocol over the CONGEST realization.
-func RunDecider(g *graph.Graph, d sim.Decider) (bool, *Engine, error) {
-	msgs, eng, err := RunOneRound(g, d)
-	if err != nil {
-		return false, eng, err
+func RunDecider(g *graph.Graph, d engine.Decider) (bool, *Engine, error) {
+	s := &Sched{}
+	ans, _, err := engine.RunDecider(g, d, s)
+	if s.Err != nil {
+		return false, s.Eng, s.Err
 	}
-	ans, err := d.Decide(g.N(), msgs)
-	return ans, eng, err
+	return ans, s.Eng, err
 }
+
+var _ engine.Scheduler = (*Sched)(nil)

@@ -33,18 +33,24 @@ func (ForestProtocol) MessageBits(n int) int {
 }
 
 // LocalMessage sends (ID, degree, sum of neighbor IDs) at fixed widths.
-func (ForestProtocol) LocalMessage(n, id int, nbrs []int) bits.String {
+func (p ForestProtocol) LocalMessage(n, id int, nbrs []int) bits.String {
+	var out bits.Writer
+	p.AppendLocalMessage(&out, n, id, nbrs)
+	return out.String()
+}
+
+// AppendLocalMessage implements engine.BufferedLocal: the same message,
+// written into a caller-owned writer so batch runs allocate nothing.
+func (ForestProtocol) AppendLocalMessage(out *bits.Writer, n, id int, nbrs []int) {
 	w := bits.Width(n)
 	sumW := numeric.MaxPowerSumBits(n, 1)
 	sum := uint64(0)
 	for _, x := range nbrs {
 		sum += uint64(x)
 	}
-	var out bits.Writer
 	out.WriteUint(uint64(id), w)
 	out.WriteUint(uint64(len(nbrs)), w)
 	out.WriteUint(sum, sumW)
-	return out.String()
 }
 
 // Reconstruct prunes leaves: a degree-1 vertex's sum field names its
@@ -146,8 +152,14 @@ func (p BoundedDegreeProtocol) Name() string { return fmt.Sprintf("bounded-degre
 // LocalMessage sends deg(v) then the raw neighbor list. Nodes of degree
 // greater than D truncate — the referee will detect the inconsistency.
 func (p BoundedDegreeProtocol) LocalMessage(n, id int, nbrs []int) bits.String {
-	w := bits.Width(n)
 	var out bits.Writer
+	p.AppendLocalMessage(&out, n, id, nbrs)
+	return out.String()
+}
+
+// AppendLocalMessage implements engine.BufferedLocal.
+func (p BoundedDegreeProtocol) AppendLocalMessage(out *bits.Writer, n, id int, nbrs []int) {
+	w := bits.Width(n)
 	d := len(nbrs)
 	if d > p.D {
 		d = p.D
@@ -156,7 +168,6 @@ func (p BoundedDegreeProtocol) LocalMessage(n, id int, nbrs []int) bits.String {
 	for _, x := range nbrs[:d] {
 		out.WriteUint(uint64(x), w)
 	}
-	return out.String()
 }
 
 // Reconstruct rebuilds the graph and errors when any node exceeded degree D

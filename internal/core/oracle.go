@@ -26,18 +26,22 @@ func (o *OracleDecider) Name() string { return "oracle:" + o.Label }
 // neighbor. Exactly n bits, a pure function of (n, id, nbrs).
 func (o *OracleDecider) LocalMessage(n, id int, nbrs []int) bits.String {
 	var w bits.Writer
-	isNbr := make([]bool, n+1)
-	for _, x := range nbrs {
-		isNbr[x] = true
-	}
+	o.AppendLocalMessage(&w, n, id, nbrs)
+	return w.String()
+}
+
+// AppendLocalMessage implements engine.BufferedLocal: a single merge walk
+// over the (ascending) neighbor list, no scratch.
+func (o *OracleDecider) AppendLocalMessage(w *bits.Writer, n, id int, nbrs []int) {
+	i := 0
 	for j := 1; j <= n; j++ {
-		if isNbr[j] {
+		if i < len(nbrs) && nbrs[i] == j {
 			w.WriteBit(1)
+			i++
 		} else {
 			w.WriteBit(0)
 		}
 	}
-	return w.String()
 }
 
 // Decide rebuilds the graph from the rows and applies the predicate. It

@@ -1,0 +1,70 @@
+package core
+
+import "refereenet/internal/engine"
+
+// The paper's protocols, named into the engine's registry so cmd tools and
+// batch scenarios can resolve them at run time. cfg.K parameterizes the
+// structural bound where one applies; zero picks a sensible default.
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:        "forest",
+		Description: "Theorem 5 warm-up (k=1): (ID, deg, Σ neighbors), leaf pruning",
+		New:         func(engine.Config) engine.Local { return ForestProtocol{} },
+	})
+	engine.Register(engine.Registration{
+		Name:        "degeneracy",
+		Description: "Theorem 5 / Algorithms 3+4: power-sum messages, k-core pruning (K = degeneracy bound, default 3)",
+		New: func(cfg engine.Config) engine.Local {
+			return &DegeneracyProtocol{K: kOrDefault(cfg.K, 3)}
+		},
+	})
+	engine.Register(engine.Registration{
+		Name:        "generalized",
+		Description: "§III.D generalized degeneracy: co-neighborhood power sums for dense graphs (default K 2)",
+		New: func(cfg engine.Config) engine.Local {
+			return &GeneralizedDegeneracyProtocol{K: kOrDefault(cfg.K, 2)}
+		},
+	})
+	engine.Register(engine.Registration{
+		Name:        "bounded-degree",
+		Description: "footnote-1 baseline: raw neighbor lists, max degree K (default 4)",
+		New: func(cfg engine.Config) engine.Local {
+			return BoundedDegreeProtocol{D: kOrDefault(cfg.K, 4)}
+		},
+	})
+	engine.Register(engine.Registration{
+		Name:        "oracle-square",
+		Description: "non-frugal oracle: n-bit adjacency rows, referee decides 'has C4'",
+		New:         func(engine.Config) engine.Local { return NewSquareOracle() },
+	})
+	engine.Register(engine.Registration{
+		Name:        "oracle-triangle",
+		Description: "non-frugal oracle: adjacency rows, referee decides 'has triangle'",
+		New:         func(engine.Config) engine.Local { return NewTriangleOracle() },
+	})
+	engine.Register(engine.Registration{
+		Name:        "oracle-diam3",
+		Description: "non-frugal oracle: adjacency rows, referee decides 'diam ≤ K' (default 3)",
+		New: func(cfg engine.Config) engine.Local {
+			return NewDiameterOracle(kOrDefault(cfg.K, 3))
+		},
+	})
+	engine.Register(engine.Registration{
+		Name:        "oracle-conn",
+		Description: "non-frugal oracle: adjacency rows, referee decides connectivity",
+		New:         func(engine.Config) engine.Local { return NewConnectivityOracle() },
+	})
+	engine.Register(engine.Registration{
+		Name:        "oracle-reconstruct",
+		Description: "non-frugal oracle: adjacency rows, referee returns G itself (Lemma 1 foil)",
+		New:         func(engine.Config) engine.Local { return OracleReconstructor{} },
+	})
+}
+
+func kOrDefault(k, def int) int {
+	if k > 0 {
+		return k
+	}
+	return def
+}

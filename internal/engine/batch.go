@@ -1,0 +1,391 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+
+	"refereenet/internal/bits"
+	"refereenet/internal/graph"
+)
+
+// Source streams graphs into a batch run. Next returns the next graph, or
+// nil when the stream is exhausted. Next is called from one goroutine at a
+// time (the batch engine serializes access when sharing a source across
+// workers).
+type Source interface {
+	Next() *graph.Graph
+}
+
+// Volatile marks sources whose Next reuses a single underlying graph (the
+// Gray-code enumerator toggles one edge per step into one *graph.Graph).
+// Batch runs execute such sources on one goroutine: the reuse that makes
+// them allocation-free also makes the yielded pointer unshareable. Split a
+// volatile stream into per-worker range sources and use RunShards to
+// parallelize it.
+type Volatile interface {
+	Volatile() bool
+}
+
+// SliceSource streams a pre-built corpus. Reset rewinds it, so one corpus
+// can feed many runs (the batch benchmarks rely on this for steady-state
+// measurements).
+type SliceSource struct {
+	graphs []*graph.Graph
+	pos    int
+}
+
+// NewSliceSource returns a source over gs.
+func NewSliceSource(gs []*graph.Graph) *SliceSource { return &SliceSource{graphs: gs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() *graph.Graph {
+	if s.pos >= len(s.graphs) {
+		return nil
+	}
+	g := s.graphs[s.pos]
+	s.pos++
+	return g
+}
+
+// Reset rewinds the source to the first graph.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// Len returns the corpus size.
+func (s *SliceSource) Len() int { return len(s.graphs) }
+
+// funcSource adapts a generator closure to Source.
+type funcSource func() *graph.Graph
+
+func (f funcSource) Next() *graph.Graph { return f() }
+
+// SourceFunc wraps a generator: f is called once per graph and returns nil
+// to end the stream. Use it to feed gen families into a batch run.
+func SourceFunc(f func() *graph.Graph) Source { return funcSource(f) }
+
+// BatchStats aggregates one batch run. Merging is associative, so per-shard
+// stats combine into run totals without coordination.
+type BatchStats struct {
+	Graphs    uint64 // graphs processed
+	TotalBits uint64 // Σ transcript TotalBits
+	MaxBits   int    // max single message over the whole run
+	MaxN      int    // largest graph seen
+	Accepted  uint64 // decider said yes (Decide enabled)
+	Rejected  uint64 // decider said no
+	Errors    uint64 // referee errors
+}
+
+func (s *BatchStats) merge(o *BatchStats) {
+	s.Graphs += o.Graphs
+	s.TotalBits += o.TotalBits
+	if o.MaxBits > s.MaxBits {
+		s.MaxBits = o.MaxBits
+	}
+	if o.MaxN > s.MaxN {
+		s.MaxN = o.MaxN
+	}
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Errors += o.Errors
+}
+
+// MeanBitsPerGraph returns the average transcript volume.
+func (s *BatchStats) MeanBitsPerGraph() float64 {
+	if s.Graphs == 0 {
+		return 0
+	}
+	return float64(s.TotalBits) / float64(s.Graphs)
+}
+
+// BatchOptions configures a Batch.
+type BatchOptions struct {
+	// Workers sizes the worker pool; ≤ 0 means one per CPU, 1 runs every
+	// graph on the calling goroutine (the allocation-free path).
+	Workers int
+	// Sched, when non-nil, runs each graph's local phase under this
+	// scheduler instead of the worker's serial in-place loop — batching
+	// across graphs composes with scheduling within a graph. Setting it
+	// bypasses the BufferedLocal arena fast path (schedulers return
+	// protocol-allocated messages), so it trades the zero-allocation steady
+	// state for intra-graph parallelism or shuffled delivery.
+	Sched Scheduler
+	// Decide runs the referee's global function on every transcript when the
+	// protocol is a Decider, tallying Accepted/Rejected/Errors.
+	Decide bool
+	// MaxN, when positive, pre-sizes every worker's scratch (message vector,
+	// neighbor buffer, and — for protocols exposing MessageBits — the writer
+	// and byte arena) for graphs up to that size at NewBatch time, on the
+	// calling goroutine. Without it the buffers grow lazily on whichever
+	// worker goroutine first needs them, which is correct but makes the
+	// first-touch allocation land inside someone's measurement window.
+	MaxN int
+	// OnTranscript, when non-nil, is called for every graph with its
+	// transcript, on the worker goroutine that produced it. Neither g nor t
+	// may be retained: both may be reused for the next graph.
+	OnTranscript func(g *graph.Graph, t *Transcript)
+}
+
+// Sized is implemented by protocols whose exact per-node message size on
+// n-node graphs is publicly computable (the paper's fixed-width encodings).
+// The batch engine uses it to pre-size message arenas.
+type Sized interface {
+	MessageBits(n int) int
+}
+
+// Batch runs one protocol over streams of graphs. Create it once, Run it per
+// stream: workers, channels and per-worker scratch (message vectors, writer,
+// byte arena, neighbor buffers) persist across runs, which is what makes the
+// steady state allocation-free for BufferedLocal protocols. A Batch is not
+// safe for concurrent Runs; Close it to release the worker goroutines.
+type Batch struct {
+	p        Local
+	buffered BufferedLocal // non-nil when p opts into the arena path
+	decider  Decider       // non-nil when opts.Decide and p decides
+	opts     BatchOptions
+	workers  int
+
+	jobs   chan *batchShard
+	done   chan *batchShard
+	shards []batchShard
+	locked lockedSource
+	inline batchShard // the Workers==1 / volatile-source slot
+	sc     *batchScratch
+	closed bool
+}
+
+type batchShard struct {
+	src   Source
+	stats BatchStats
+}
+
+type batchScratch struct {
+	msgs  []bits.String
+	nbrs  []int
+	arena []byte
+	w     bits.Writer
+	t     Transcript
+}
+
+type lockedSource struct {
+	mu  sync.Mutex
+	src Source
+}
+
+func (l *lockedSource) Next() *graph.Graph {
+	l.mu.Lock()
+	g := l.src.Next()
+	l.mu.Unlock()
+	return g
+}
+
+// NewBatch builds a reusable batch runner for p.
+func NewBatch(p Local, opts BatchOptions) *Batch {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	b := &Batch{p: p, opts: opts, workers: workers}
+	if opts.Sched == nil {
+		b.buffered, _ = p.(BufferedLocal)
+	}
+	if opts.Decide {
+		b.decider, _ = p.(Decider)
+	}
+	b.sc = b.newScratch()
+	if workers > 1 {
+		b.jobs = make(chan *batchShard)
+		b.done = make(chan *batchShard, workers)
+		for i := 0; i < workers; i++ {
+			// Scratch is allocated (and, with MaxN, fully pre-sized) here on
+			// the creating goroutine: a worker that is never scheduled until
+			// later must not allocate inside someone else's measurement.
+			go b.worker(b.newScratch())
+		}
+	}
+	return b
+}
+
+// newScratch builds one worker's scratch, pre-sized per opts.MaxN.
+func (b *Batch) newScratch() *batchScratch {
+	sc := &batchScratch{}
+	n := b.opts.MaxN
+	if n <= 0 {
+		return sc
+	}
+	sc.msgs = make([]bits.String, n)
+	sc.nbrs = make([]int, 0, n)
+	if sz, ok := b.p.(Sized); ok && b.buffered != nil {
+		perMsg := (sz.MessageBits(n) + 7) / 8
+		sc.arena = make([]byte, 0, perMsg*n)
+		// Pre-grow the writer's internal buffer to one message.
+		for i := 0; i < perMsg*8; i++ {
+			sc.w.WriteBit(0)
+		}
+		sc.w.Reset()
+	}
+	return sc
+}
+
+// Close stops the worker goroutines. The Batch must not be used afterwards.
+func (b *Batch) Close() {
+	if b.jobs != nil && !b.closed {
+		close(b.jobs)
+	}
+	b.closed = true
+}
+
+func (b *Batch) worker(sc *batchScratch) {
+	for sh := range b.jobs {
+		b.runShard(sh, sc)
+		b.done <- sh
+	}
+}
+
+// Run streams src through the protocol and returns aggregated stats. With
+// one worker — or a Volatile source, whose reused graph cannot be shared —
+// the whole run happens on the calling goroutine.
+func (b *Batch) Run(src Source) BatchStats {
+	if b.workers == 1 || isVolatile(src) {
+		b.inline.src = src
+		b.runShard(&b.inline, b.sc)
+		b.inline.src = nil
+		return b.inline.stats
+	}
+	b.locked.src = src
+	if cap(b.shards) < b.workers {
+		b.shards = make([]batchShard, b.workers)
+	}
+	shards := b.shards[:b.workers]
+	for i := range shards {
+		shards[i].src = &b.locked
+	}
+	out := b.dispatch(shards)
+	b.locked.src = nil
+	return out
+}
+
+// RunShards runs one independent source per shard — the natural shape for
+// pre-split streams such as Gray-code rank ranges, where per-shard sources
+// stay allocation-free because no graph crosses a goroutine. Shards are
+// distributed over the worker pool; with one worker they run sequentially.
+func (b *Batch) RunShards(srcs ...Source) BatchStats {
+	if b.workers == 1 {
+		var out BatchStats
+		for _, src := range srcs {
+			b.inline.src = src
+			b.runShard(&b.inline, b.sc)
+			b.inline.src = nil
+			out.merge(&b.inline.stats)
+		}
+		return out
+	}
+	if cap(b.shards) < len(srcs) {
+		b.shards = make([]batchShard, len(srcs))
+	}
+	shards := b.shards[:len(srcs)]
+	for i := range shards {
+		shards[i].src = srcs[i]
+	}
+	out := b.dispatch(shards)
+	for i := range shards {
+		shards[i].src = nil
+	}
+	return out
+}
+
+// dispatch feeds shards to the workers and merges their stats, interleaving
+// sends and completions so any shard count works with any pool size.
+func (b *Batch) dispatch(shards []batchShard) BatchStats {
+	var out BatchStats
+	sent, recvd := 0, 0
+	for recvd < len(shards) {
+		if sent < len(shards) {
+			select {
+			case b.jobs <- &shards[sent]:
+				sent++
+			case sh := <-b.done:
+				out.merge(&sh.stats)
+				recvd++
+			}
+		} else {
+			sh := <-b.done
+			out.merge(&sh.stats)
+			recvd++
+		}
+	}
+	return out
+}
+
+func (b *Batch) runShard(sh *batchShard, sc *batchScratch) {
+	sh.stats = BatchStats{}
+	for g := sh.src.Next(); g != nil; g = sh.src.Next() {
+		b.runGraph(g, &sh.stats, sc)
+	}
+}
+
+// runGraph is the batch hot loop: local phase into per-worker scratch, bit
+// accounting, optional referee call. For BufferedLocal protocols the
+// messages land in a reused byte arena — zero allocations per graph.
+func (b *Batch) runGraph(g *graph.Graph, st *BatchStats, sc *batchScratch) {
+	n := g.N()
+	if cap(sc.msgs) < n {
+		sc.msgs = make([]bits.String, n)
+	}
+	if cap(sc.nbrs) < n {
+		sc.nbrs = make([]int, 0, n)
+	}
+	msgs := sc.msgs[:n]
+	switch {
+	case b.buffered != nil:
+		sc.arena = sc.arena[:0]
+		for v := 1; v <= n; v++ {
+			sc.nbrs = g.AppendNeighbors(v, sc.nbrs[:0])
+			sc.w.Reset()
+			b.buffered.AppendLocalMessage(&sc.w, n, v, sc.nbrs)
+			msgs[v-1], sc.arena = sc.w.AppendTo(sc.arena)
+		}
+	case b.opts.Sched != nil:
+		b.opts.Sched.Run(g, b.p, msgs)
+	default:
+		sc.nbrs = fillRange(g, b.p, msgs, 1, n, sc.nbrs)
+	}
+
+	st.Graphs++
+	if n > st.MaxN {
+		st.MaxN = n
+	}
+	for _, m := range msgs {
+		st.TotalBits += uint64(m.Len())
+		if m.Len() > st.MaxBits {
+			st.MaxBits = m.Len()
+		}
+	}
+	if b.decider != nil {
+		ans, err := b.decider.Decide(n, msgs)
+		switch {
+		case err != nil:
+			st.Errors++
+		case ans:
+			st.Accepted++
+		default:
+			st.Rejected++
+		}
+	}
+	if b.opts.OnTranscript != nil {
+		sc.t = Transcript{N: n, Messages: msgs}
+		b.opts.OnTranscript(g, &sc.t)
+	}
+}
+
+// RunBatch runs p over src with a one-shot Batch. For repeated runs build a
+// Batch once and reuse it — the scratch reuse is what amortizes to zero
+// allocations.
+func RunBatch(p Local, src Source, opts BatchOptions) BatchStats {
+	b := NewBatch(p, opts)
+	defer b.Close()
+	return b.Run(src)
+}
+
+func isVolatile(src Source) bool {
+	v, ok := src.(Volatile)
+	return ok && v.Volatile()
+}

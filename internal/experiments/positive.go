@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"refereenet/internal/core"
+	"refereenet/internal/engine"
 	"refereenet/internal/gen"
 	"refereenet/internal/graph"
 	"refereenet/internal/sim"
@@ -54,7 +55,7 @@ func E1Reconstruction(cfg Config) *stats.Report {
 		for _, n := range sizes {
 			g := cls.gen(n)
 			p := &core.DegeneracyProtocol{K: cls.k}
-			tr := sim.LocalPhase(g, p, sim.Parallel)
+			tr := engine.LocalPhase(g, p, engine.Chunked{})
 			start := time.Now()
 			h, err := p.Reconstruct(g.N(), tr.Messages)
 			decode := time.Since(start)
@@ -121,7 +122,7 @@ func E3DecoderAblation(cfg Config) *stats.Report {
 		for _, k := range []int{1, 2, 3} {
 			g := gen.RandomKDegenerate(rng, n, k, true)
 			plain := &core.DegeneracyProtocol{K: k}
-			tr := sim.LocalPhase(g, plain, sim.Sequential)
+			tr := engine.LocalPhase(g, plain, engine.Serial{})
 
 			buildStart := time.Now()
 			ld, err := core.NewLookupDecoder(n, k, 0)
@@ -187,7 +188,7 @@ func E10Recognition(cfg Config) *stats.Report {
 		row := []interface{}{c.name, d}
 		for k := 1; k <= 5; k++ {
 			p := &core.DegeneracyProtocol{K: k}
-			tr := sim.LocalPhase(c.g, p, sim.Sequential)
+			tr := engine.LocalPhase(c.g, p, engine.Serial{})
 			ok, err := p.Recognize(c.g.N(), tr.Messages)
 			verdict := "accept"
 			if err != nil {

@@ -1,0 +1,70 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"refereenet/internal/graph"
+)
+
+// ByName builds one graph from the named family — the single vocabulary the
+// cmd tools, batch scenarios and sweep harnesses share. k is the
+// family-specific structural parameter (k-tree order, degeneracy bound,
+// fat-tree arity, projective-plane order) and p the edge probability where
+// one applies; families that ignore them do so silently.
+func ByName(rng *rand.Rand, name string, n, k int, p float64) (*graph.Graph, error) {
+	switch name {
+	case "tree":
+		return RandomTree(rng, n), nil
+	case "forest":
+		return RandomForest(rng, n, 4), nil
+	case "ktree":
+		return KTree(rng, n, k), nil
+	case "kdegenerate":
+		return RandomKDegenerate(rng, n, k, true), nil
+	case "apollonian":
+		return Apollonian(rng, n), nil
+	case "outerplanar":
+		return MaximalOuterplanar(n), nil
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid(side, side), nil
+	case "gnp":
+		return Gnp(rng, n, p), nil
+	case "connected-gnp":
+		return ConnectedGnp(rng, n, p), nil
+	case "bipartite":
+		return RandomBipartite(rng, n/2, n-n/2, p), nil
+	case "pg":
+		return ProjectivePlaneIncidence(k), nil
+	case "star":
+		return Star(n), nil
+	case "path":
+		return Path(n), nil
+	case "cycle":
+		return Cycle(n), nil
+	case "complete":
+		return Complete(n), nil
+	case "hypercube":
+		d := 0
+		for 1<<uint(d) < n {
+			d++
+		}
+		return Hypercube(d), nil
+	case "fattree":
+		return FatTree(k), nil
+	}
+	return nil, fmt.Errorf("gen: unknown family %q (known: %v)", name, FamilyNames())
+}
+
+// FamilyNames lists every family ByName accepts, for usage strings.
+func FamilyNames() []string {
+	return []string{
+		"tree", "forest", "ktree", "kdegenerate", "apollonian", "outerplanar",
+		"grid", "gnp", "connected-gnp", "bipartite", "pg", "star", "path",
+		"cycle", "complete", "hypercube", "fattree",
+	}
+}

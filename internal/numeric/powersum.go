@@ -8,6 +8,7 @@ package numeric
 import (
 	"fmt"
 	"math/big"
+	mathbits "math/bits"
 )
 
 // PowerSums returns the vector (S_1, ..., S_k) with S_p = Σ_{x∈ids} x^p,
@@ -110,7 +111,16 @@ func MaxPowerSumBits(n, p int) int {
 	if n <= 0 {
 		return 0
 	}
-	// Exact bound: bitlen(n * n^p).
+	// Exact bound: bitlen(n^{p+1}). When the product fits in a word, compute
+	// it without big.Int — this runs once per field in every LocalMessage, so
+	// the allocation-free batch paths need it allocation-free too.
+	if bl := mathbits.Len64(uint64(n)); (p+1)*bl <= 63 {
+		v := uint64(1)
+		for i := 0; i <= p; i++ {
+			v *= uint64(n)
+		}
+		return mathbits.Len64(v)
+	}
 	b := new(big.Int).Exp(big.NewInt(int64(n)), big.NewInt(int64(p)), nil)
 	b.Mul(b, big.NewInt(int64(n)))
 	return b.BitLen()

@@ -3,11 +3,21 @@
 // one round every node sends the referee a single message computed from its
 // own ID, the IDs of its neighbors, and n.
 //
-// Definition 1 of the paper splits a one-round protocol Γ into a local
-// function Γˡₙ — evaluable at ANY pair (id, neighborhood), a property the
-// reduction theorems depend on — and a global function Γᵍₙ run by the
-// referee on the message vector. The Local interface is Γˡ; Decider and
-// Reconstructor pair it with the two shapes of Γᵍ used in the paper.
+// Definition 1 of the paper splits a one-round protocol Γ into two SEMANTIC
+// halves: a local function Γˡₙ — evaluable at ANY pair (id, neighborhood), a
+// property the reduction theorems depend on — and a global function Γᵍₙ run
+// by the referee on the message vector. The Local interface is Γˡ; Decider
+// and Reconstructor pair it with the two shapes of Γᵍ used in the paper.
+//
+// Orthogonal to that semantic split is the SCHEDULING split, which this
+// package no longer owns: internal/engine is the single execution pipeline
+// for the whole repository, and the Mode constants here are thin names for
+// its schedulers (Sequential → engine.Serial, Parallel → engine.Chunked,
+// Async → engine.Async). Because Γˡ is a pure function of (n, id, nbrs) and
+// the referee indexes messages by sender ID, every scheduler yields the
+// identical transcript — scheduling changes wall-clock shape, never
+// semantics. Transcript itself is an alias of engine.Transcript, so bit
+// accounting is the same object everywhere.
 //
 // Messages are bit strings and transcripts account for every bit, so the
 // frugality condition (max message size = O(log n)) is checked by
@@ -15,11 +25,8 @@
 package sim
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
 	"refereenet/internal/bits"
+	"refereenet/internal/engine"
 	"refereenet/internal/graph"
 )
 
@@ -36,8 +43,11 @@ type NodeView struct {
 // nbrs. Implementations must be pure functions of (n, id, nbrs) — the
 // reductions in internal/core evaluate them on hypothetical graphs that are
 // never materialized. The nbrs slice is only valid for the duration of the
-// call and must not be retained: the simulator and the collision search
-// reuse one neighbor buffer across millions of invocations.
+// call and must not be retained: the engine and the collision search reuse
+// one neighbor buffer across millions of invocations.
+//
+// It is structurally identical to engine.Local, so protocols flow into the
+// engine (schedulers, registry, batch runs) without adapters.
 type Local interface {
 	LocalMessage(n, id int, nbrs []int) bits.String
 }
@@ -62,69 +72,41 @@ type Reconstructor interface {
 // Named is implemented by protocols that can report a human-readable name.
 type Named interface{ Name() string }
 
-// Mode selects how the local phase is executed. All modes produce identical
-// transcripts; they differ in scheduling only.
+// Mode selects how the local phase is scheduled. All modes produce identical
+// transcripts; they differ in scheduling only. New code should use
+// engine.Scheduler values directly — Mode survives as the stable vocabulary
+// of this package's callers.
 type Mode int
 
 const (
 	// Sequential evaluates nodes 1..n in order on the calling goroutine.
 	Sequential Mode = iota
-	// Parallel fans the local phase out over a worker pool (one worker per
-	// CPU), mirroring that the nodes of the network compute independently.
+	// Parallel fans the local phase out over a chunk-strided worker pool
+	// (one worker per CPU), mirroring that the nodes of the network compute
+	// independently.
 	Parallel
-	// Async runs one goroutine per node delivering messages over a channel
-	// in arbitrary order; the referee waits for all n messages, which is
-	// sound because it knows n (the paper's asynchrony remark).
+	// Async evaluates nodes in a shuffled delivery schedule over the same
+	// worker pool; the referee needs no order because it knows n (the
+	// paper's asynchrony remark).
 	Async
 )
 
-// Transcript records one execution of the local phase.
-type Transcript struct {
-	N        int
-	Messages []bits.String // Messages[i] is the message of node i+1
+// Scheduler returns the engine scheduler this mode names.
+func (m Mode) Scheduler() engine.Scheduler {
+	switch m {
+	case Parallel:
+		return engine.Chunked{}
+	case Async:
+		return engine.Async{}
+	default:
+		return engine.Serial{}
+	}
 }
 
-// MaxBits returns the size of the largest message — the quantity the
-// frugality condition bounds.
-func (t *Transcript) MaxBits() int {
-	max := 0
-	for _, m := range t.Messages {
-		if m.Len() > max {
-			max = m.Len()
-		}
-	}
-	return max
-}
-
-// TotalBits returns the total communication volume received by the referee.
-func (t *Transcript) TotalBits() int {
-	total := 0
-	for _, m := range t.Messages {
-		total += m.Len()
-	}
-	return total
-}
-
-// FrugalityRatio returns MaxBits / log₂(n): the constant hidden in the
-// O(log n) frugality bound. For n < 2 it returns MaxBits.
-func (t *Transcript) FrugalityRatio() float64 {
-	logn := log2ceil(t.N)
-	if logn == 0 {
-		return float64(t.MaxBits())
-	}
-	return float64(t.MaxBits()) / float64(logn)
-}
-
-func log2ceil(n int) int {
-	if n <= 1 {
-		return 0
-	}
-	b := 0
-	for v := n - 1; v > 0; v >>= 1 {
-		b++
-	}
-	return b
-}
+// Transcript records one execution of the local phase. It is the engine's
+// transcript: every execution path in the repository shares one bit
+// accounting type.
+type Transcript = engine.Transcript
 
 // View returns the NodeView of vertex v in g.
 func View(g *graph.Graph, v int) NodeView {
@@ -132,86 +114,20 @@ func View(g *graph.Graph, v int) NodeView {
 }
 
 // LocalPhase runs the local function of p at every node of g and returns the
-// message vector Γˡ(G) as a transcript. Sequential and Parallel reuse one
-// neighbor buffer per worker (see the Local contract), so the phase itself
-// allocates nothing per node beyond what the protocol does.
+// message vector Γˡ(G) as a transcript, by delegating to the engine's
+// scheduler named by mode.
 func LocalPhase(g *graph.Graph, p Local, mode Mode) *Transcript {
-	n := g.N()
-	t := &Transcript{N: n, Messages: make([]bits.String, n)}
-	switch mode {
-	case Sequential:
-		runNodeRange(g, p, t.Messages, 1, n)
-	case Parallel:
-		workers := runtime.GOMAXPROCS(0)
-		if workers > n {
-			workers = n
-		}
-		if workers < 1 {
-			workers = 1
-		}
-		// Contiguous chunks instead of a per-vertex unbuffered channel: the
-		// old dispatch paid two goroutine handoffs per node, which dwarfed
-		// the local computation itself on all but the densest graphs.
-		chunk := (n + workers - 1) / workers
-		var wg sync.WaitGroup
-		for lo := 1; lo <= n; lo += chunk {
-			hi := lo + chunk - 1
-			if hi > n {
-				hi = n
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				runNodeRange(g, p, t.Messages, lo, hi)
-			}(lo, hi)
-		}
-		wg.Wait()
-	case Async:
-		type delivery struct {
-			id  int
-			msg bits.String
-		}
-		ch := make(chan delivery, n)
-		for v := 1; v <= n; v++ {
-			go func(v int) {
-				ch <- delivery{v, p.LocalMessage(n, v, g.Neighbors(v))}
-			}(v)
-		}
-		// The referee collects exactly n messages, in whatever order the
-		// network delivers them.
-		for i := 0; i < n; i++ {
-			d := <-ch
-			t.Messages[d.id-1] = d.msg
-		}
-	default:
-		panic(fmt.Sprintf("sim: unknown mode %d", mode))
-	}
-	return t
-}
-
-// runNodeRange evaluates the local function at nodes lo..hi into msgs,
-// reusing a single neighbor buffer across the range.
-func runNodeRange(g *graph.Graph, p Local, msgs []bits.String, lo, hi int) {
-	n := g.N()
-	nbrs := make([]int, 0, n)
-	for v := lo; v <= hi; v++ {
-		nbrs = g.AppendNeighbors(v, nbrs[:0])
-		msgs[v-1] = p.LocalMessage(n, v, nbrs)
-	}
+	return engine.LocalPhase(g, p, mode.Scheduler())
 }
 
 // RunDecider executes a full one-round decision protocol on g.
 func RunDecider(g *graph.Graph, d Decider, mode Mode) (bool, *Transcript, error) {
-	t := LocalPhase(g, d, mode)
-	ans, err := d.Decide(g.N(), t.Messages)
-	return ans, t, err
+	return engine.RunDecider(g, d, mode.Scheduler())
 }
 
 // RunReconstructor executes a full one-round reconstruction protocol on g.
 func RunReconstructor(g *graph.Graph, r Reconstructor, mode Mode) (*graph.Graph, *Transcript, error) {
-	t := LocalPhase(g, r, mode)
-	h, err := r.Reconstruct(g.N(), t.Messages)
-	return h, t, err
+	return engine.RunReconstructor(g, r, mode.Scheduler())
 }
 
 // FrugalBudget is the message-size budget c·⌈log₂ n⌉ + c0 used by frugality
@@ -223,5 +139,5 @@ type FrugalBudget struct {
 
 // Allows reports whether a transcript fits within the budget.
 func (b FrugalBudget) Allows(t *Transcript) bool {
-	return float64(t.MaxBits()) <= b.C*float64(log2ceil(t.N))+float64(b.C0)
+	return float64(t.MaxBits()) <= b.C*float64(engine.Log2Ceil(t.N))+float64(b.C0)
 }

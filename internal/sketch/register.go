@@ -1,0 +1,17 @@
+package sketch
+
+import "refereenet/internal/engine"
+
+func init() {
+	engine.Register(engine.Registration{
+		Name:        "sketch-conn",
+		Description: "§IV counterpoint: randomized ℓ₀-sketch connectivity, O(log³ n) bits/node (uses N, Seed)",
+		New: func(cfg engine.Config) engine.Local {
+			n := cfg.N
+			if n < 2 {
+				n = 2
+			}
+			return NewSketchConnectivity(n, cfg.Seed)
+		},
+	})
+}

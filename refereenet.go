@@ -13,23 +13,43 @@
 // This root package is a small convenience facade over plain data (vertex
 // counts and edge lists); the full API lives in the internal packages:
 //
-//	internal/sim      — the model (Definition 1), runners, bit accounting
+//	internal/engine   — the single execution pipeline: schedulers (serial,
+//	                    chunked, async-shuffled), the protocol registry, and
+//	                    batched multi-graph runs with unified bit accounting
+//	internal/sim      — the model (Definition 1); thin names over the engine
 //	internal/core     — the paper's protocols and reductions
 //	internal/graph    — labelled graphs and algorithms
-//	internal/gen      — graph-family generators
-//	internal/collide  — exhaustive lower-bound machinery
+//	internal/gen      — graph-family generators (gen.ByName is the shared
+//	                    family vocabulary)
+//	internal/collide  — exhaustive lower-bound machinery (n ≤ 8 Gray-code
+//	                    enumeration), strawman protocols
+//	internal/congest  — the CONGEST realization on G ∪ {v₀}, also an engine
+//	                    scheduler
 //	internal/sketch   — connectivity extensions (§IV)
 //
-// and is exercised end to end by examples/, cmd/ and bench_test.go.
+// Every protocol in core, sketch and collide registers itself into the
+// engine's registry, so cmd/refereesim and cmd/experiments can run any
+// protocol × scheduler × family combination by name; Protocols lists them.
+// The facade is exercised end to end by examples/, cmd/ and bench_test.go.
 package refereenet
 
 import (
 	"fmt"
 
 	"refereenet/internal/core"
+	"refereenet/internal/engine"
 	"refereenet/internal/graph"
 	"refereenet/internal/sim"
+
+	// Linked for their engine registry entries, so Protocols reports the
+	// full lineup library users can resolve by name.
+	_ "refereenet/internal/collide"
+	_ "refereenet/internal/sketch"
 )
+
+// Protocols returns the names of every registered one-round protocol — the
+// vocabulary accepted by the cmd tools' -protocol flags.
+func Protocols() []string { return engine.Names() }
 
 // Stats summarizes one protocol execution.
 type Stats struct {
