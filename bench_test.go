@@ -18,6 +18,7 @@ import (
 	"refereenet/internal/numeric"
 	"refereenet/internal/sim"
 	"refereenet/internal/sketch"
+	"refereenet/internal/sweep"
 )
 
 func quickCfg() experiments.Config { return experiments.Config{Seed: 1, Quick: true} }
@@ -208,6 +209,57 @@ func BenchmarkRunBatch(b *testing.B) {
 			}
 			if st := bt.RunShards(srcs...); st.Graphs != total {
 				b.Fatalf("ran %d graphs", st.Graphs)
+			}
+		}
+	})
+}
+
+// BenchmarkSweepLocal measures the sweep coordinator end to end with
+// in-process workers: plan (rank-range split), execute (the JSON-lines unit
+// protocol per worker), merge (BatchStats.Merge over completion order). One
+// op sweeps all 32 768 labelled n = 6 graphs; the delta against
+// BenchmarkRunBatch's gray variants is the protocol + coordination overhead
+// a subprocess fleet pays on top of the raw batch engine.
+func BenchmarkSweepLocal(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("hash16/n=6/w=%d", workers), func(b *testing.B) {
+			plan, err := sweep.SplitGrayRanks(engine.ShardSpec{Protocol: "hash16"}, 6, 0, 1<<15, 4*workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := sweep.Run(plan, sweep.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Graphs != 1<<15 {
+					b.Fatalf("swept %d graphs", st.Graphs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPowerSumAccumulator isolates the satellite that made the
+// power-sum strawmen batchable: big.Int accumulation vs fixed-width limbs
+// for one 16-node neighborhood, k = 3.
+func BenchmarkPowerSumAccumulator(b *testing.B) {
+	nbrs := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53}
+	b.Run("bigint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sums := numeric.PowerSums(nbrs, 3)
+			_ = sums
+		}
+	})
+	b.Run("limbs", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc numeric.PowerSumAccumulator
+		for i := 0; i < b.N; i++ {
+			acc.Reset(3)
+			for _, x := range nbrs {
+				acc.Add(uint64(x))
 			}
 		}
 	})

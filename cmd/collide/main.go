@@ -6,6 +6,7 @@
 //
 //	collide -n 6 -protocol degree -pred triangle
 //	collide -counts -n 6
+//	collide -counts -n 8 -big -ranks 0:134217728
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	counts := flag.Bool("counts", false, "print family counts instead of searching")
 	reconstruct := flag.Bool("reconstruct", false, "search for a same-family reconstruction collision instead of a decision collision")
 	big := flag.Bool("big", false, "allow n = 8 (2.7·10⁸ graphs: seconds for -counts, much longer for searches)")
+	ranks := flag.String("ranks", "", "with -counts: restrict to Gray-code ranks lo:hi of the size-n space; disjoint ranges counted on different machines merge by addition")
 	flag.Parse()
 
 	if *n > collide.MaxEnumerationN {
@@ -38,6 +40,16 @@ func main() {
 	if *counts {
 		fmt.Printf("%6s %14s %14s %14s %14s %14s %14s\n",
 			"n", "all", "square-free", "bipartite", "forests", "degen<=2", "connected")
+		if *ranks != "" {
+			// One machine's slice of a fleet-split count: a single row over
+			// the requested rank range only.
+			fc, err := countRanks(*n, *ranks)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printCounts(fc)
+			return
+		}
 		for i := 2; i <= *n; i++ {
 			// The n = 8 row is 128× the n = 7 work: shard it over all CPUs.
 			var fc collide.FamilyCounts
@@ -46,8 +58,7 @@ func main() {
 			} else {
 				fc = collide.Count(i)
 			}
-			fmt.Printf("%6d %14d %14d %14d %14d %14d %14d\n",
-				i, fc.All, fc.SquareFree, fc.Bipartite, fc.Forests, fc.Degen2, fc.Connected)
+			printCounts(fc)
 		}
 		return
 	}
@@ -78,6 +89,20 @@ func main() {
 	}
 	fmt.Printf("certificate that %s cannot decide %q:\n  %s\n", s.Label, *predName, cert)
 	fmt.Printf("  A: %s\n  B: %s\n", cert.GraphA(), cert.GraphB())
+}
+
+func printCounts(fc collide.FamilyCounts) {
+	fmt.Printf("%6d %14d %14d %14d %14d %14d %14d\n",
+		fc.N, fc.All, fc.SquareFree, fc.Bipartite, fc.Forests, fc.Degen2, fc.Connected)
+}
+
+// countRanks counts one Gray-code rank slice "lo:hi" of the size-n space.
+func countRanks(n int, ranks string) (collide.FamilyCounts, error) {
+	lo, hi, err := collide.ParseRankRange(ranks, n)
+	if err != nil {
+		return collide.FamilyCounts{}, fmt.Errorf("-ranks: %w", err)
+	}
+	return collide.CountRange(n, lo, hi), nil
 }
 
 func strawmanByName(name string) (collide.Strawman, bool) {

@@ -12,12 +12,24 @@
 //	refereesim -gen gnp -n 32 -p 0.2 -protocol sketch-conn
 //	refereesim -gen tree -n 100 -protocol forest -sched congest
 //	refereesim -list
+//
+// The sweep subcommand is the batch layer at fleet scale: it plans a
+// protocol × source sweep (Gray-code rank ranges of the labelled-graph
+// space, or generated family corpora), executes it across worker
+// subprocesses, and merges the per-shard stats — with an optional resumable
+// checkpoint manifest:
+//
+//	refereesim sweep -protocol hash16 -n 8 -workers 8
+//	refereesim sweep -protocol oracle-conn -decide -n 6 -workers 2
+//	refereesim sweep -protocol hash16 -n 8 -ranks 0:134217728 -manifest n8.manifest
+//	refereesim sweep -gen gnp -n 64 -count 100000 -protocol sketch-conn
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"refereenet/internal/congest"
 	"refereenet/internal/core"
@@ -34,6 +46,10 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("refereesim: ")
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		runSweep(os.Args[2:])
+		return
+	}
 	genName := flag.String("gen", "ktree", fmt.Sprintf("graph family: %v", gen.FamilyNames()))
 	n := flag.Int("n", 64, "number of vertices (family-dependent)")
 	k := flag.Int("k", 3, "protocol / family structural parameter (degeneracy bound, k-tree order, ...)")

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"refereenet/internal/collide"
+	"refereenet/internal/engine"
+	"refereenet/internal/sweep"
+)
+
+// runSweep is the `refereesim sweep` coordinator: it plans a rank-range or
+// family sweep, fans the units out over worker subprocesses (this same
+// binary in the hidden -worker mode), merges their stats, and checkpoints
+// progress to an optional resumable manifest.
+func runSweep(args []string) {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	protocol := fs.String("protocol", "hash16", "registered protocol to sweep (see refereesim -list)")
+	sched := fs.String("sched", "serial", fmt.Sprintf("per-graph scheduler: %v", engine.SchedulerNames()))
+	n := fs.Int("n", 6, "graph size")
+	k := fs.Int("k", 0, "protocol structural parameter (0 = registration default)")
+	seed := fs.Int64("seed", 1, "public-randomness / corpus seed")
+	decide := fs.Bool("decide", false, "run the referee's decision on every transcript and tally verdicts")
+	workers := fs.Int("workers", runtime.NumCPU(), "worker subprocesses")
+	units := fs.Int("units", 0, "work units to split the sweep into (0 = 4 per worker)")
+	ranks := fs.String("ranks", "", "Gray-code rank sub-range lo:hi (default: the whole 2^C(n,2) space); lets a fleet split n ≥ 9 sub-ranges across machines")
+	family := fs.String("gen", "", "sweep a generated family (gen.ByName name) instead of the labelled-graph enumeration")
+	count := fs.Int("count", 10000, "graphs to generate in -gen mode")
+	p := fs.Float64("p", 0.2, "edge probability for gnp-style families in -gen mode")
+	manifest := fs.String("manifest", "", "checkpoint manifest path; rerunning with the same plan and manifest resumes instead of restarting")
+	retries := fs.Int("retries", 1, "re-dispatches per failed unit before the sweep fails")
+	dumpPlan := fs.Bool("dump-plan", false, "print the plan JSON and exit without executing")
+	verbose := fs.Bool("v", false, "log coordinator progress to stderr")
+	inProcess := fs.Bool("inprocess", false, "run workers as goroutines instead of subprocesses (debugging)")
+	worker := fs.Bool("worker", false, "internal: serve the JSON-lines worker protocol on stdin/stdout")
+	fs.Parse(args)
+
+	if *worker {
+		// The hidden execute-stage mode the coordinator spawns.
+		if err := sweep.ServeWorker(os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	shard := engine.ShardSpec{
+		Protocol: *protocol,
+		Sched:    *sched,
+		Config:   engine.Config{N: *n, K: *k, Seed: *seed},
+		Decide:   *decide,
+	}
+	if _, ok := engine.Lookup(*protocol); !ok {
+		log.Fatalf("unknown protocol %q (try refereesim -list)", *protocol)
+	}
+	if *units <= 0 {
+		*units = 4 * *workers
+	}
+
+	var plan engine.Plan
+	var err error
+	if *family != "" {
+		if *ranks != "" {
+			log.Fatal("-ranks slices the labelled-graph enumeration and cannot combine with -gen; use -count to size a generated sweep")
+		}
+		// Resolve a zero-count spec up front so parameter combinations the
+		// family constructors reject fail here, not per-unit in the workers.
+		probe := engine.SourceSpec{Kind: "family", Family: *family, N: *n, K: *k, P: *p, Seed: *seed}
+		if _, perr := engine.ResolveSource(probe); perr != nil {
+			log.Fatal(perr)
+		}
+		plan, err = sweep.SplitFamily(shard, *family, *n, *k, *p, *seed, *count, *units)
+	} else {
+		if *n < 1 || *n > collide.MaxEnumerationN {
+			log.Fatalf("enumeration sweeps need 1 ≤ n ≤ %d (got %d); use -gen for generated families", collide.MaxEnumerationN, *n)
+		}
+		lo, hi, rerr := collide.ParseRankRange(*ranks, *n)
+		if rerr != nil {
+			log.Fatalf("-ranks: %v", rerr)
+		}
+		plan, err = sweep.SplitGrayRanks(shard, *n, lo, hi, *units)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *dumpPlan {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(plan); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	opts := sweep.Options{
+		Workers:  *workers,
+		Retries:  *retries,
+		Manifest: *manifest,
+	}
+	if !*inProcess {
+		self, err := os.Executable()
+		if err != nil {
+			log.Fatalf("locate own binary for worker spawning: %v", err)
+		}
+		opts.Command = []string{self, "sweep", "-worker"}
+	}
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+		opts.Log = logw
+	}
+
+	start := time.Now()
+	st, err := sweep.Run(plan, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sweep: protocol=%s sched=%s units=%d workers=%d elapsed=%s\n",
+		*protocol, *sched, len(plan.Shards), *workers, elapsed.Round(time.Millisecond))
+	fmt.Printf("graphs=%d total_bits=%d max_bits=%d max_n=%d accepted=%d rejected=%d errors=%d\n",
+		st.Graphs, st.TotalBits, st.MaxBits, st.MaxN, st.Accepted, st.Rejected, st.Errors)
+	fmt.Printf("mean bits/graph=%.2f\n", st.MeanBitsPerGraph())
+}

@@ -170,6 +170,39 @@ func (w *Writer) WriteBigIntWidth(v *big.Int, width int) {
 	}
 }
 
+// WriteLimbsWidth appends a non-negative integer, given as little-endian
+// 64-bit limbs (limbs[0] holds bits 0..63), as exactly width bits, most
+// significant bit first. It is the fixed-width big-integer encoding of
+// WriteBigIntWidth for callers that keep their values in machine words (the
+// allocation-free power-sum accumulator in internal/numeric); the two write
+// identical bit strings for identical values. It panics if the value does
+// not fit in width bits.
+func (w *Writer) WriteLimbsWidth(limbs []uint64, width int) {
+	if width < 0 {
+		panic(fmt.Sprintf("bits: invalid width %d", width))
+	}
+	for i, l := range limbs {
+		excess := 64*i - width // bits of limb i at or above width
+		switch {
+		case excess >= 0:
+			if l != 0 {
+				panic(fmt.Sprintf("bits: limb value does not fit in %d bits", width))
+			}
+		case excess > -64:
+			if l>>uint(width-64*i) != 0 {
+				panic(fmt.Sprintf("bits: limb value does not fit in %d bits", width))
+			}
+		}
+	}
+	for i := width - 1; i >= 0; i-- {
+		bit := 0
+		if i>>6 < len(limbs) {
+			bit = int(limbs[i>>6] >> (uint(i) & 63) & 1)
+		}
+		w.WriteBit(bit)
+	}
+}
+
 // String returns the bits written so far as an immutable String.
 func (w *Writer) String() String {
 	data := make([]byte, len(w.data))

@@ -173,6 +173,62 @@ func TestBigIntWidthRoundTrip(t *testing.T) {
 	}
 }
 
+func TestWriteLimbsWidthMatchesBigIntWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(200)
+		v := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(width)))
+		limbs := make([]uint64, 0, 4)
+		for i := 0; i*64 < v.BitLen(); i++ {
+			limbs = append(limbs, new(big.Int).Rsh(v, uint(64*i)).Uint64())
+		}
+		var ref, got Writer
+		ref.WriteBigIntWidth(v, width)
+		got.WriteLimbsWidth(limbs, width)
+		if !got.String().Equal(ref.String()) {
+			t.Fatalf("width=%d v=%v: limbs %s != big.Int %s", width, v, got.String(), ref.String())
+		}
+	}
+}
+
+func TestWriteLimbsWidthShortAndPadded(t *testing.T) {
+	// A value with fewer limbs than the width covers is zero-extended.
+	var w Writer
+	w.WriteLimbsWidth([]uint64{5}, 70)
+	r := NewReader(w.String())
+	v, err := r.ReadBigIntWidth(70)
+	if err != nil || v.Int64() != 5 {
+		t.Fatalf("read %v, %v; want 5", v, err)
+	}
+	// Trailing zero limbs beyond the width are legal.
+	w.Reset()
+	w.WriteLimbsWidth([]uint64{3, 0, 0}, 2)
+	if w.Len() != 2 {
+		t.Fatalf("wrote %d bits, want 2", w.Len())
+	}
+}
+
+func TestWriteLimbsWidthTooNarrowPanics(t *testing.T) {
+	for _, c := range []struct {
+		limbs []uint64
+		width int
+	}{
+		{[]uint64{255}, 4},        // low limb overflows width
+		{[]uint64{0, 1}, 64},      // nonzero limb entirely above width
+		{[]uint64{0, 1 << 1}, 65}, // high limb partially above width
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("limbs=%v width=%d did not panic", c.limbs, c.width)
+				}
+			}()
+			var w Writer
+			w.WriteLimbsWidth(c.limbs, c.width)
+		}()
+	}
+}
+
 func TestConcat(t *testing.T) {
 	a := FromBits(1, 0, 1)
 	b := FromBits(1, 1)

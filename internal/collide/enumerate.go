@@ -65,16 +65,41 @@ type FamilyCounts struct {
 	Connected  uint64 // the open question's family
 }
 
+// Merge adds o's counts into fc. Like engine.BatchStats.Merge it is
+// commutative and associative, so counts from disjoint rank ranges —
+// goroutine shards, or CountRange runs on different machines — combine into
+// space totals in any order.
+func (fc *FamilyCounts) Merge(o FamilyCounts) {
+	fc.All += o.All
+	fc.SquareFree += o.SquareFree
+	fc.Bipartite += o.Bipartite
+	fc.Forests += o.Forests
+	fc.Degen2 += o.Degen2
+	fc.Connected += o.Connected
+}
+
 // Count computes all family counts for n ≤ MaxEnumerationN by exhaustive
 // enumeration on the zero-allocation Gray-code engine: the graph is a
 // word-packed stack value, one edge toggles per step, and no heap allocation
 // happens anywhere in the loop (guarded by TestCountAllocFree).
 func Count(n int) FamilyCounts {
-	if n > MaxEnumerationN {
-		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
+	total := uint(n * (n - 1) / 2)
+	return CountRange(n, 0, 1<<total)
+}
+
+// CountRange computes family counts over the Gray-code ranks [lo, hi) only —
+// the fleet-splitting form: disjoint ranges counted on different machines
+// Merge into the full-space counts Count reports. It panics for n or a range
+// outside the enumeration bounds.
+func CountRange(n int, lo, hi uint64) FamilyCounts {
+	if n < 1 || n > MaxEnumerationN {
+		panic(fmt.Sprintf("collide: n=%d outside enumeration range [1,%d]", n, MaxEnumerationN))
 	}
 	total := uint(n * (n - 1) / 2)
+	if hi > 1<<total || lo > hi {
+		panic(fmt.Sprintf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n))
+	}
 	fc := FamilyCounts{N: n}
-	countRange(&fc, n, 0, 1<<total, n/2)
+	countRange(&fc, n, lo, hi, n/2)
 	return fc
 }

@@ -146,6 +146,56 @@ func TestCountMatchesLegacyEnumeration(t *testing.T) {
 	}
 }
 
+// Disjoint rank slices counted independently must Merge into the exact
+// full-space counts — the contract that lets a fleet split one n across
+// machines (cmd/collide -ranks).
+func TestCountRangeSlicesMergeToFullCount(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		want := Count(n)
+		total := uint64(1) << uint(n*(n-1)/2)
+		bounds := []uint64{0, 1, total / 3, total / 2, total - 2, total}
+		got := FamilyCounts{N: n}
+		for i := 0; i+1 < len(bounds); i++ {
+			got.Merge(CountRange(n, bounds[i], bounds[i+1]))
+		}
+		if got != want {
+			t.Errorf("n=%d: merged slices %+v, full count %+v", n, got, want)
+		}
+	}
+	// Merge order must not matter.
+	a, b := CountRange(4, 0, 10), CountRange(4, 10, 64)
+	ab := FamilyCounts{N: 4}
+	ab.Merge(a)
+	ab.Merge(b)
+	ba := FamilyCounts{N: 4}
+	ba.Merge(b)
+	ba.Merge(a)
+	if ab != ba {
+		t.Errorf("FamilyCounts.Merge not commutative: %+v vs %+v", ab, ba)
+	}
+}
+
+func TestParseRankRange(t *testing.T) {
+	if lo, hi, err := ParseRankRange("", 5); err != nil || lo != 0 || hi != 1024 {
+		t.Errorf(`ParseRankRange("", 5) = %d, %d, %v; want full space [0,1024)`, lo, hi, err)
+	}
+	if lo, hi, err := ParseRankRange("3:40", 4); err != nil || lo != 3 || hi != 40 {
+		t.Errorf(`ParseRankRange("3:40", 4) = %d, %d, %v`, lo, hi, err)
+	}
+	for _, bad := range []struct {
+		s string
+		n int
+	}{
+		{"", -3}, {"", 0}, {"", MaxEnumerationN + 1}, // n out of range
+		{"17", 5}, {"a:b", 5}, {":", 5}, // malformed
+		{"10:5", 5}, {"0:1025", 5}, // inverted / past the space
+	} {
+		if _, _, err := ParseRankRange(bad.s, bad.n); err == nil {
+			t.Errorf("ParseRankRange(%q, %d) accepted", bad.s, bad.n)
+		}
+	}
+}
+
 // TestCountAllocFree is the zero-allocation guard for the Gray-code
 // predicate loop: a full Count pass (32 graphs at n=4, 1024 at n=5) must not
 // touch the heap at all.

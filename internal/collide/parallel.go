@@ -47,12 +47,7 @@ func CountParallel(n int) FamilyCounts {
 	wg.Wait()
 	out := FamilyCounts{N: n}
 	for _, fc := range results {
-		out.All += fc.All
-		out.SquareFree += fc.SquareFree
-		out.Bipartite += fc.Bipartite
-		out.Forests += fc.Forests
-		out.Degen2 += fc.Degen2
-		out.Connected += fc.Connected
+		out.Merge(fc)
 	}
 	return out
 }

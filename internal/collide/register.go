@@ -16,6 +16,20 @@ func init() {
 			New:         func(engine.Config) engine.Local { return e.Strawman.Local },
 		})
 	}
+	// The Gray-code enumeration as a plannable source: spec {kind: "gray",
+	// n, lo, hi} resolves to the rank range [lo, hi), with lo = hi = 0
+	// meaning the full space. Disjoint rank ranges cover disjoint graphs,
+	// which is what lets the sweep coordinator split one enumeration across
+	// processes and machines. A nonzero lo with hi = 0 is NOT defaulted —
+	// it falls through to the range validation and errors, so a mistyped
+	// hand-edited plan cannot silently cover [lo, full) and double-count.
+	engine.RegisterSource("gray", func(spec engine.SourceSpec) (engine.Source, error) {
+		hi := spec.Hi
+		if hi == 0 && spec.Lo == 0 && spec.N >= 1 && spec.N <= MaxEnumerationN {
+			hi = uint64(1) << uint(spec.N*(spec.N-1)/2)
+		}
+		return GraySourceForRange(spec.N, spec.Lo, hi)
+	})
 }
 
 // NamedStrawman pairs a Strawman with its registry / flag name.

@@ -3,9 +3,39 @@ package collide
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
+	"strings"
 
 	"refereenet/internal/graph"
 )
+
+// ParseRankRange parses the "lo:hi" vocabulary of the -ranks CLI flags into
+// a validated Gray-code rank range of the size-n labelled-graph space. The
+// empty string means the full [0, 2^C(n,2)) space. Shared by cmd/refereesim
+// and cmd/collide so the fleet-splitting syntax cannot drift between them.
+func ParseRankRange(s string, n int) (lo, hi uint64, err error) {
+	if n < 1 || n > MaxEnumerationN {
+		return 0, 0, fmt.Errorf("collide: n=%d outside enumeration range [1,%d]", n, MaxEnumerationN)
+	}
+	total := uint64(1) << uint(n*(n-1)/2)
+	if s == "" {
+		return 0, total, nil
+	}
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("rank range wants lo:hi, got %q", s)
+	}
+	if lo, err = strconv.ParseUint(parts[0], 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("rank range lo: %v", err)
+	}
+	if hi, err = strconv.ParseUint(parts[1], 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("rank range hi: %v", err)
+	}
+	if lo > hi || hi > total {
+		return 0, 0, fmt.Errorf("rank range [%d,%d) out of bounds for n=%d (space %d)", lo, hi, n, total)
+	}
+	return lo, hi, nil
+}
 
 // GraySource streams every labelled graph of a Gray-code rank range through
 // ONE reused *graph.Graph, toggling a single edge per step — the
@@ -33,16 +63,27 @@ func NewGraySource(n int) *GraySource {
 
 // NewGraySourceRange streams the Gray-code ranks [lo, hi).
 func NewGraySourceRange(n int, lo, hi uint64) *GraySource {
-	if n > MaxEnumerationN {
-		panic(fmt.Sprintf("collide: n=%d exceeds enumeration bound %d", n, MaxEnumerationN))
+	s, err := GraySourceForRange(n, lo, hi)
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// GraySourceForRange is NewGraySourceRange with validation errors instead of
+// panics — the form the spec resolver needs, since source specs cross
+// process boundaries and may be malformed.
+func GraySourceForRange(n int, lo, hi uint64) (*GraySource, error) {
+	if n < 1 || n > MaxEnumerationN {
+		return nil, fmt.Errorf("collide: n=%d outside enumeration range [1,%d]", n, MaxEnumerationN)
 	}
 	total := uint(n * (n - 1) / 2)
 	if hi > 1<<total || lo > hi {
-		panic(fmt.Sprintf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n))
+		return nil, fmt.Errorf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n)
 	}
 	s := &GraySource{n: n, next: lo, hi: hi}
 	edgePairs(n, &s.us, &s.vs)
-	return s
+	return s, nil
 }
 
 // Next implements engine.Source. The returned graph is reused by the next

@@ -68,6 +68,10 @@ func DegreeSum() Strawman {
 // protocol's message. Reconstructs degeneracy-≤k graphs; the collision
 // search shows it still cannot decide squares/triangles/diameter on
 // *arbitrary* graphs, which is exactly the boundary the paper draws.
+//
+// The sums accumulate in a stack-resident fixed-width limb accumulator
+// rather than big.Int, so batch sweeps over this strawman run with zero
+// heap allocations per graph like the rest of the lineup.
 func PowerSums(k int) Strawman {
 	return Strawman{
 		Label: fmt.Sprintf("powersums[k=%d]", k),
@@ -80,9 +84,13 @@ func PowerSums(k int) Strawman {
 		},
 		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
-			sums := numeric.PowerSums(nbrs, k)
+			var acc numeric.PowerSumAccumulator
+			acc.Reset(k)
+			for _, x := range nbrs {
+				acc.Add(uint64(x))
+			}
 			for q := 1; q <= k; q++ {
-				w.WriteBigIntWidth(sums[q-1], numeric.MaxPowerSumBits(n, q))
+				w.WriteLimbsWidth(acc.Sum(q), numeric.MaxPowerSumBits(n, q))
 			}
 		}),
 	}

@@ -1,0 +1,55 @@
+package collide
+
+import (
+	"testing"
+
+	"refereenet/internal/engine"
+	"refereenet/internal/gen"
+	"refereenet/internal/graph"
+)
+
+// The power-sum strawmen accumulate in fixed-width limbs instead of big.Int,
+// so their batch steady state must be as allocation-free as the rest of the
+// lineup (the ROADMAP open item this closes).
+func TestPowerSumStrawmenBatchAllocFree(t *testing.T) {
+	rng := gen.NewRand(3)
+	graphs := make([]*graph.Graph, 64)
+	for i := range graphs {
+		graphs[i] = gen.Gnp(rng, 16, 0.3)
+	}
+	for _, name := range []string{"powersums2", "powersums3"} {
+		s, ok := StrawmanByName(name)
+		if !ok {
+			t.Fatalf("strawman %q missing", name)
+		}
+		if _, ok := s.Local.(engine.BufferedLocal); !ok {
+			t.Fatalf("%s does not implement engine.BufferedLocal", name)
+		}
+		b := engine.NewBatch(s.Local, engine.BatchOptions{Workers: 1})
+		src := engine.NewSliceSource(graphs)
+		b.Run(src) // warm the arena and scratch
+		allocs := testing.AllocsPerRun(10, func() {
+			src.Reset()
+			b.Run(src)
+		})
+		b.Close()
+		if allocs != 0 {
+			t.Errorf("%s batch run allocated %.1f objects, want 0", name, allocs)
+		}
+	}
+}
+
+// The limb path must emit bit-identical messages to the big.Int encoding the
+// degeneracy protocol uses: same fixed widths, same values.
+func TestPowerSumStrawmanMatchesDegeneracyEncoding(t *testing.T) {
+	rng := gen.NewRand(9)
+	g := gen.Gnp(rng, 12, 0.4)
+	s, _ := StrawmanByName("powersums3")
+	for v := 1; v <= g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		msg := s.Local.LocalMessage(g.N(), v, nbrs)
+		if msg.Len() != s.Bits(g.N()) {
+			t.Fatalf("node %d: message %d bits, budget says %d", v, msg.Len(), s.Bits(g.N()))
+		}
+	}
+}

@@ -62,19 +62,26 @@ func (f funcSource) Next() *graph.Graph { return f() }
 // to end the stream. Use it to feed gen families into a batch run.
 func SourceFunc(f func() *graph.Graph) Source { return funcSource(f) }
 
-// BatchStats aggregates one batch run. Merging is associative, so per-shard
-// stats combine into run totals without coordination.
+// BatchStats aggregates one batch run. It is the merge stage's unit of
+// state: every field is either a sum or a max, so Merge is commutative and
+// associative, and per-shard stats — whether from a goroutine, another
+// process, or a checkpoint manifest on disk — combine into run totals in any
+// order without coordination. The JSON form is the wire and manifest format
+// of internal/sweep.
 type BatchStats struct {
-	Graphs    uint64 // graphs processed
-	TotalBits uint64 // Σ transcript TotalBits
-	MaxBits   int    // max single message over the whole run
-	MaxN      int    // largest graph seen
-	Accepted  uint64 // decider said yes (Decide enabled)
-	Rejected  uint64 // decider said no
-	Errors    uint64 // referee errors
+	Graphs    uint64 `json:"graphs"`     // graphs processed
+	TotalBits uint64 `json:"total_bits"` // Σ transcript TotalBits
+	MaxBits   int    `json:"max_bits"`   // max single message over the whole run
+	MaxN      int    `json:"max_n"`      // largest graph seen
+	Accepted  uint64 `json:"accepted"`   // decider said yes (Decide enabled)
+	Rejected  uint64 `json:"rejected"`   // decider said no
+	Errors    uint64 `json:"errors"`     // referee errors
 }
 
-func (s *BatchStats) merge(o *BatchStats) {
+// Merge folds o into s. Counters add and maxima take the larger value, so
+// merging is commutative and associative: any shard completion order yields
+// identical totals.
+func (s *BatchStats) Merge(o BatchStats) {
 	s.Graphs += o.Graphs
 	s.TotalBits += o.TotalBits
 	if o.MaxBits > s.MaxBits {
@@ -274,7 +281,7 @@ func (b *Batch) RunShards(srcs ...Source) BatchStats {
 			b.inline.src = src
 			b.runShard(&b.inline, b.sc)
 			b.inline.src = nil
-			out.merge(&b.inline.stats)
+			out.Merge(b.inline.stats)
 		}
 		return out
 	}
@@ -303,12 +310,12 @@ func (b *Batch) dispatch(shards []batchShard) BatchStats {
 			case b.jobs <- &shards[sent]:
 				sent++
 			case sh := <-b.done:
-				out.merge(&sh.stats)
+				out.Merge(sh.stats)
 				recvd++
 			}
 		} else {
 			sh := <-b.done
-			out.merge(&sh.stats)
+			out.Merge(sh.stats)
 			recvd++
 		}
 	}

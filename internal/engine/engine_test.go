@@ -49,7 +49,7 @@ func sampleStride(name string, n int) uint64 {
 		if n == 5 {
 			return 17
 		}
-	case "degeneracy", "generalized", "powersums2", "powersums3":
+	case "degeneracy", "generalized":
 		if n >= 6 {
 			return 7 // big.Int power-sum arithmetic per node
 		}

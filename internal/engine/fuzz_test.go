@@ -1,0 +1,84 @@
+package engine_test
+
+// FuzzProtocolScheduler is the ROADMAP's registry-driven property harness:
+// the fuzzer picks a (protocol × scheduler × labelled graph) combination and
+// the property is the engine's core claim — schedulers are wall-clock-only,
+// so every scheduler (and the batch execute path) must produce the transcript
+// of a naive direct evaluation of Γˡ, bit for bit. Unlike the exhaustive
+// differential sweep in engine_test.go, the fuzzer also explores protocol
+// seeds and skewed worker counts, and keeps exploring under `go test -fuzz`.
+
+import (
+	"testing"
+
+	"refereenet/internal/collide"
+	"refereenet/internal/engine"
+	"refereenet/internal/graph"
+)
+
+func FuzzProtocolScheduler(f *testing.F) {
+	names := engine.Names()
+	if len(names) == 0 {
+		f.Fatal("protocol registry is empty")
+	}
+	f.Add(uint8(0), uint8(4), uint64(0), int64(1), uint8(2))
+	f.Add(uint8(3), uint8(5), uint64(0b1011_0110), int64(42), uint8(1))
+	f.Add(uint8(7), uint8(6), uint64(1)<<14, int64(-9), uint8(5))
+	f.Add(uint8(255), uint8(255), ^uint64(0), int64(0), uint8(0))
+	f.Fuzz(func(t *testing.T, protoIdx, nRaw uint8, mask uint64, seed int64, workersRaw uint8) {
+		name := names[int(protoIdx)%len(names)]
+		n := 2 + int(nRaw)%5 // 2..6: the sizes where every protocol is cheap
+		edgeBits := uint(n * (n - 1) / 2)
+		mask &= 1<<edgeBits - 1
+		workers := 1 + int(workersRaw)%8
+
+		p, ok := engine.New(name, engine.Config{N: n, Seed: seed})
+		if !ok {
+			t.Fatalf("registry lost %q", name)
+		}
+		g := graph.FromEdgeMask(n, mask)
+		want := naiveTranscript(g, p)
+
+		for _, s := range []engine.Scheduler{
+			engine.Serial{},
+			engine.Chunked{Workers: workers},
+			engine.Async{Seed: seed, Workers: workers},
+			engine.Async{}, // fresh shuffled delivery schedule
+		} {
+			got := engine.LocalPhase(g, p, s)
+			assertSameTranscript(t, name, s.Name(), mask, want, got)
+		}
+
+		// The batch execute path must agree with the per-graph accounting:
+		// one-graph corpus, same protocol instance.
+		st := engine.RunBatch(p, engine.NewSliceSource([]*graph.Graph{g}), engine.BatchOptions{Workers: 1})
+		if st.Graphs != 1 || st.TotalBits != uint64(want.TotalBits()) || st.MaxBits != want.MaxBits() {
+			t.Fatalf("%s mask=%d: batch stats %+v, transcript total=%d max=%d",
+				name, mask, st, want.TotalBits(), want.MaxBits())
+		}
+	})
+}
+
+// The Gray-code enumerator and the mask constructor must yield the same
+// graph for the same mask — the spec layer ("gray" sources) depends on it.
+func FuzzGraySourceMatchesMask(f *testing.F) {
+	f.Add(uint8(5), uint64(17), uint64(100))
+	f.Fuzz(func(t *testing.T, nRaw uint8, lo, span uint64) {
+		n := 2 + int(nRaw)%5
+		total := uint64(1) << uint(n*(n-1)/2)
+		lo %= total
+		hi := lo + span%32
+		if hi > total {
+			hi = total
+		}
+		src, err := collide.GraySourceForRange(n, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := src.Next(); g != nil; g = src.Next() {
+			if want := graph.FromEdgeMask(n, src.Mask()); !g.Equal(want) {
+				t.Fatalf("n=%d mask=%d: gray source graph differs from mask constructor", n, src.Mask())
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the *plan* stage of the batch pipeline. A sweep over a large
+// graph space is described before it is executed: a Plan is an ordered list
+// of ShardSpecs, each naming a protocol (by registry name), a scheduler (by
+// scheduler name), and a source of graphs (by source-kind name plus
+// parameters). Every field is data, not code, so plans serialize to JSON and
+// cross process or machine boundaries — the sweep coordinator in
+// internal/sweep hands single ShardSpecs to worker subprocesses, which turn
+// them back into running batches via ExecuteShard.
+//
+// The *execute* stage is ExecuteShard below plus the source-kind registry:
+// packages that own source constructors (internal/collide for Gray-code rank
+// ranges, internal/gen for generated family corpora) register resolvers from
+// package init, mirroring the protocol registry.
+//
+// The *merge* stage is BatchStats.Merge (batch.go): commutative and
+// associative, so shard results combine in any completion order.
+
+// SourceSpec names a graph stream declaratively. Kind selects a registered
+// resolver; the remaining fields parameterize it and are interpreted by the
+// resolver (unused fields are ignored).
+type SourceSpec struct {
+	// Kind is the resolver registry key: "gray" (internal/collide, the
+	// labelled-graph Gray-code enumeration of ranks [Lo, Hi)) or "family"
+	// (internal/gen, Count graphs drawn from the named ByName family).
+	Kind string `json:"kind"`
+	// N is the graph size.
+	N int `json:"n,omitempty"`
+	// Lo and Hi bound a rank range for range-shaped kinds ("gray"). For a
+	// full sweep use Lo = 0, Hi = 2^C(n,2).
+	Lo uint64 `json:"lo,omitempty"`
+	Hi uint64 `json:"hi,omitempty"`
+	// Family, Count, K, P and Seed parameterize corpus-shaped kinds
+	// ("family"): Count graphs from gen.ByName(Family, N, K, P) drawn from a
+	// deterministic stream seeded with Seed.
+	Family string  `json:"family,omitempty"`
+	Count  int     `json:"count,omitempty"`
+	K      int     `json:"k,omitempty"`
+	P      float64 `json:"p,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// ShardSpec is one unit of planned work: run Protocol over the graphs of
+// Source. It is the JSON-lines payload the sweep coordinator sends to worker
+// processes.
+type ShardSpec struct {
+	// Protocol is a protocol registry name (see Names).
+	Protocol string `json:"protocol"`
+	// Sched is a scheduler name for the per-graph local phase; "" or
+	// "serial" selects the worker's in-place loop, which is the
+	// allocation-free fast path.
+	Sched string `json:"sched,omitempty"`
+	// Config parameterizes the protocol instance.
+	Config Config `json:"config,omitempty"`
+	// Decide runs the referee's global function on every transcript.
+	Decide bool `json:"decide,omitempty"`
+	// Source names the graph stream.
+	Source SourceSpec `json:"source"`
+}
+
+// Plan is the serializable output of the plan stage: shard specs that
+// together cover one sweep. Executing every shard and merging the stats is
+// equivalent to one monolithic run over the union of the sources.
+type Plan struct {
+	Shards []ShardSpec `json:"shards"`
+}
+
+// SourceResolver turns a SourceSpec into a live Source. Resolvers must
+// validate the spec and return an error rather than panic: specs cross
+// process boundaries and may be malformed.
+type SourceResolver func(spec SourceSpec) (Source, error)
+
+var sourceRegistry struct {
+	sync.Mutex
+	byKind map[string]SourceResolver
+}
+
+// RegisterSource adds a source kind to the global resolver registry. Like
+// protocol Register it panics on empty or duplicate kinds: registrations
+// happen in package init functions.
+func RegisterSource(kind string, resolve SourceResolver) {
+	if kind == "" || resolve == nil {
+		panic("engine: RegisterSource requires a kind and a resolver")
+	}
+	sourceRegistry.Lock()
+	defer sourceRegistry.Unlock()
+	if sourceRegistry.byKind == nil {
+		sourceRegistry.byKind = make(map[string]SourceResolver)
+	}
+	if _, dup := sourceRegistry.byKind[kind]; dup {
+		panic(fmt.Sprintf("engine: source kind %q registered twice", kind))
+	}
+	sourceRegistry.byKind[kind] = resolve
+}
+
+// ResolveSource builds the Source a spec names. Which kinds resolve depends
+// on which packages the binary links in, exactly as with protocols.
+func ResolveSource(spec SourceSpec) (Source, error) {
+	sourceRegistry.Lock()
+	resolve, ok := sourceRegistry.byKind[spec.Kind]
+	sourceRegistry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown source kind %q (known: %v)", spec.Kind, SourceKinds())
+	}
+	return resolve(spec)
+}
+
+// SourceKinds returns every registered source kind, sorted.
+func SourceKinds() []string {
+	sourceRegistry.Lock()
+	defer sourceRegistry.Unlock()
+	kinds := make([]string, 0, len(sourceRegistry.byKind))
+	for kind := range sourceRegistry.byKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// ExecuteShard is the execute stage: it resolves a ShardSpec's protocol,
+// scheduler and source against the registries and streams the source through
+// a one-shot Batch on the calling goroutine (process-level parallelism is
+// the sweep coordinator's job, so each shard itself runs single-worker and —
+// for BufferedLocal protocols under the serial scheduler — allocation-free).
+func ExecuteShard(spec ShardSpec) (BatchStats, error) {
+	p, ok := New(spec.Protocol, spec.Config)
+	if !ok {
+		return BatchStats{}, fmt.Errorf("engine: unknown protocol %q", spec.Protocol)
+	}
+	opts := BatchOptions{Workers: 1, Decide: spec.Decide, MaxN: spec.Config.N}
+	if spec.Source.N > opts.MaxN {
+		opts.MaxN = spec.Source.N
+	}
+	if spec.Sched != "" && spec.Sched != "serial" {
+		s, ok := SchedulerByName(spec.Sched)
+		if !ok {
+			return BatchStats{}, fmt.Errorf("engine: unknown scheduler %q", spec.Sched)
+		}
+		opts.Sched = s
+	}
+	src, err := ResolveSource(spec.Source)
+	if err != nil {
+		return BatchStats{}, err
+	}
+	return RunBatch(p, src, opts), nil
+}

@@ -8,19 +8,21 @@ import (
 
 // Config parameterizes a protocol instance built from the registry. Fields a
 // protocol does not use are ignored.
+// Config is part of the serializable plan vocabulary (ShardSpec embeds it),
+// so its fields carry JSON tags.
 type Config struct {
 	// N is the size of the graphs the instance will run on. Protocols whose
 	// construction depends on n (the connectivity sketch sizes its samplers
 	// from it) require it; purely local protocols ignore it.
-	N int
+	N int `json:"n,omitempty"`
 	// K is the protocol's structural parameter: the degeneracy bound of the
 	// reconstruction protocols, the degree bound of bounded-degree, the
 	// diameter threshold of the diameter oracle. Zero selects the
 	// registration's default.
-	K int
+	K int `json:"k,omitempty"`
 	// Seed feeds protocols that use public randomness (the connectivity
 	// sketch). Zero is a valid seed.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 // Registration names one protocol family. New must return a fresh instance

@@ -1,0 +1,80 @@
+package numeric
+
+import (
+	"fmt"
+	mathbits "math/bits"
+)
+
+// AccumMaxPower is the largest power-sum index the fixed-width accumulator
+// supports. The power-sum strawmen use k ≤ 3; the headroom to 4 is free.
+const AccumMaxPower = 4
+
+// accumLimbs sizes the fixed-width representation: MaxPowerSumBits(n, p) ≤
+// (p+1)·bitlen(n) ≤ 5·64 = 320 bits for p ≤ AccumMaxPower and any int-sized
+// n, so five 64-bit limbs always suffice.
+const accumLimbs = 5
+
+// PowerSumAccumulator computes (S_1, ..., S_k) with S_p = Σ x^p over a fixed
+// number of 64-bit limbs, exactly and with no heap allocation — the
+// accumulation path behind the allocation-free batch sweeps of the power-sum
+// strawmen. It replaces PowerSums (which allocates one big.Int per sum plus
+// scratch) on hot paths; both compute identical values, which the tests in
+// accum_test.go check against the big.Int reference.
+//
+// The zero value is an accumulator for k = 0; call Reset to set k and clear.
+type PowerSumAccumulator struct {
+	k    int
+	sums [AccumMaxPower][accumLimbs]uint64
+}
+
+// Reset clears the accumulator and sets the number of power sums it tracks.
+// It panics if k is negative or exceeds AccumMaxPower.
+func (a *PowerSumAccumulator) Reset(k int) {
+	if k < 0 || k > AccumMaxPower {
+		panic(fmt.Sprintf("numeric: accumulator power %d out of range [0,%d]", k, AccumMaxPower))
+	}
+	a.k = k
+	for p := range a.sums {
+		for i := range a.sums[p] {
+			a.sums[p][i] = 0
+		}
+	}
+}
+
+// Add folds x into every tracked sum: S_p += x^p for p = 1..k. The powers
+// are built by repeated multi-limb multiplication, so x may be any uint64.
+func (a *PowerSumAccumulator) Add(x uint64) {
+	var pow [accumLimbs]uint64
+	pow[0] = 1
+	for p := 0; p < a.k; p++ {
+		// pow *= x, schoolbook with 128-bit partial products.
+		var carry uint64
+		for i := 0; i < accumLimbs; i++ {
+			hi, lo := mathbits.Mul64(pow[i], x)
+			var c uint64
+			pow[i], c = mathbits.Add64(lo, carry, 0)
+			carry = hi + c
+		}
+		if carry != 0 {
+			panic("numeric: power-sum accumulator overflow")
+		}
+		// sums[p] += pow.
+		var c uint64
+		for i := 0; i < accumLimbs; i++ {
+			a.sums[p][i], c = mathbits.Add64(a.sums[p][i], pow[i], c)
+		}
+		if c != 0 {
+			panic("numeric: power-sum accumulator overflow")
+		}
+	}
+}
+
+// Sum returns S_p (p in 1..k) as little-endian 64-bit limbs. The slice
+// aliases the accumulator and is invalidated by the next Reset or Add; write
+// it out (bits.Writer.WriteLimbsWidth) before touching the accumulator again.
+func (a *PowerSumAccumulator) Sum(p int) []uint64 {
+	if p < 1 || p > a.k {
+		panic(fmt.Sprintf("numeric: sum index %d out of range [1,%d]", p, a.k))
+	}
+	return a.sums[p-1][:]
+}

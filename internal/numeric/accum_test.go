@@ -1,0 +1,120 @@
+package numeric
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"refereenet/internal/bits"
+)
+
+// The accumulator must agree bit-for-bit with the big.Int reference: same
+// values via PowerSums, same fixed-width encodings via WriteLimbsWidth vs
+// WriteBigIntWidth.
+func TestAccumulatorMatchesBigIntPowerSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(200)
+		k := 1 + rng.Intn(AccumMaxPower)
+		// A random subset of {1..n} (no duplicates, like a neighborhood).
+		perm := rng.Perm(n)
+		ids := make([]int, 0, n)
+		for _, v := range perm[:rng.Intn(n+1)] {
+			ids = append(ids, v+1)
+		}
+
+		want := PowerSums(ids, k)
+		var acc PowerSumAccumulator
+		acc.Reset(k)
+		for _, id := range ids {
+			acc.Add(uint64(id))
+		}
+		for p := 1; p <= k; p++ {
+			got := limbsToBig(acc.Sum(p))
+			if got.Cmp(want[p-1]) != 0 {
+				t.Fatalf("n=%d k=%d p=%d ids=%v: accumulator %v, big.Int %v",
+					n, k, p, ids, got, want[p-1])
+			}
+			width := MaxPowerSumBits(n, p)
+			var wa, wb bits.Writer
+			wa.WriteLimbsWidth(acc.Sum(p), width)
+			wb.WriteBigIntWidth(want[p-1], width)
+			if !wa.String().Equal(wb.String()) {
+				t.Fatalf("n=%d p=%d: limb encoding %s != big.Int encoding %s",
+					n, p, wa.String(), wb.String())
+			}
+		}
+	}
+}
+
+func TestAccumulatorLargeIDs(t *testing.T) {
+	// IDs near 2^32 make every power sum a genuine multi-limb value.
+	ids := []int{1 << 31, 1<<32 - 5, 1<<30 + 7}
+	want := PowerSums(ids, AccumMaxPower)
+	var acc PowerSumAccumulator
+	acc.Reset(AccumMaxPower)
+	for _, id := range ids {
+		acc.Add(uint64(id))
+	}
+	for p := 1; p <= AccumMaxPower; p++ {
+		if got := limbsToBig(acc.Sum(p)); got.Cmp(want[p-1]) != 0 {
+			t.Fatalf("p=%d: accumulator %v, big.Int %v", p, got, want[p-1])
+		}
+	}
+}
+
+func TestAccumulatorResetClears(t *testing.T) {
+	var acc PowerSumAccumulator
+	acc.Reset(2)
+	acc.Add(9)
+	acc.Reset(2)
+	acc.Add(3)
+	if got := limbsToBig(acc.Sum(1)); got.Int64() != 3 {
+		t.Fatalf("S_1 after reset = %v, want 3", got)
+	}
+	if got := limbsToBig(acc.Sum(2)); got.Int64() != 9 {
+		t.Fatalf("S_2 after reset = %v, want 9", got)
+	}
+}
+
+func TestAccumulatorRangePanics(t *testing.T) {
+	var acc PowerSumAccumulator
+	mustPanic(t, "Reset(k>max)", func() { acc.Reset(AccumMaxPower + 1) })
+	acc.Reset(2)
+	mustPanic(t, "Sum(0)", func() { acc.Sum(0) })
+	mustPanic(t, "Sum(k+1)", func() { acc.Sum(3) })
+}
+
+func TestAccumulatorAllocFree(t *testing.T) {
+	var acc PowerSumAccumulator
+	ids := []int{3, 7, 11, 200, 4096}
+	allocs := testing.AllocsPerRun(100, func() {
+		acc.Reset(3)
+		for _, id := range ids {
+			acc.Add(uint64(id))
+		}
+		_ = acc.Sum(3)
+	})
+	if allocs != 0 {
+		t.Errorf("accumulate allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func mustPanic(t *testing.T, label string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", label)
+		}
+	}()
+	f()
+}
+
+func limbsToBig(limbs []uint64) *big.Int {
+	v := new(big.Int)
+	for i := len(limbs) - 1; i >= 0; i-- {
+		v.Lsh(v, 64)
+		v.Or(v, new(big.Int).SetUint64(limbs[i]))
+	}
+	return v
+}

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"fmt"
+
+	"refereenet/internal/engine"
+)
+
+// SplitGrayRanks is the plan stage for enumeration sweeps: it covers the
+// Gray-code ranks [lo, hi) of the n-vertex labelled-graph space with units
+// contiguous shard specs of near-equal size. Disjoint rank ranges enumerate
+// disjoint graphs, so executing the shards anywhere and merging their stats
+// equals one monolithic run over [lo, hi) — and a fleet splits n ≥ 9
+// sub-ranges across machines by giving each coordinator its own [lo, hi).
+func SplitGrayRanks(shard engine.ShardSpec, n int, lo, hi uint64, units int) (engine.Plan, error) {
+	if hi < lo {
+		return engine.Plan{}, fmt.Errorf("sweep: rank range [%d,%d) is inverted", lo, hi)
+	}
+	total := hi - lo
+	if units < 1 {
+		units = 1
+	}
+	if uint64(units) > total && total > 0 {
+		units = int(total)
+	}
+	var plan engine.Plan
+	if total == 0 {
+		return plan, nil
+	}
+	chunk := total / uint64(units)
+	for i := 0; i < units; i++ {
+		s := shard
+		// A fresh SourceSpec, not a patched copy: stale family/seed fields
+		// from a reused template must not leak into the plan (they would
+		// change its fingerprint and strand manifests).
+		s.Source = engine.SourceSpec{
+			Kind: "gray",
+			N:    n,
+			Lo:   lo + uint64(i)*chunk,
+			Hi:   lo + uint64(i+1)*chunk,
+		}
+		if i == units-1 {
+			s.Source.Hi = hi
+		}
+		plan.Shards = append(plan.Shards, s)
+	}
+	return plan, nil
+}
+
+// SplitFamily is the plan stage for generated corpora: count graphs from one
+// gen.ByName family, split into units shards with distinct deterministic
+// seeds (seed+shard index), so the whole corpus is reproducible from the
+// plan alone.
+func SplitFamily(shard engine.ShardSpec, family string, n, k int, p float64, seed int64, count, units int) (engine.Plan, error) {
+	if count < 0 {
+		return engine.Plan{}, fmt.Errorf("sweep: negative graph count %d", count)
+	}
+	if units < 1 {
+		units = 1
+	}
+	if units > count && count > 0 {
+		units = count
+	}
+	var plan engine.Plan
+	if count == 0 {
+		return plan, nil
+	}
+	chunk := count / units
+	rem := count % units
+	for i := 0; i < units; i++ {
+		s := shard
+		s.Source = engine.SourceSpec{
+			Kind:   "family",
+			Family: family,
+			N:      n,
+			K:      k,
+			P:      p,
+			Seed:   seed + int64(i),
+			Count:  chunk,
+		}
+		if i < rem {
+			s.Source.Count++
+		}
+		plan.Shards = append(plan.Shards, s)
+	}
+	return plan, nil
+}

@@ -1,0 +1,291 @@
+// Package sweep is the multi-process shard coordinator on top of the batch
+// pipeline's three stages:
+//
+//   - plan: an engine.Plan (built here by SplitGrayRanks/SplitFamily or by
+//     hand) names every shard declaratively — protocol, scheduler and source
+//     spec — and serializes to JSON;
+//   - execute: worker processes receive one Unit (plan index + ShardSpec)
+//     per JSON line on stdin, resolve it against the protocol and
+//     source-kind registries via engine.ExecuteShard, and answer with one
+//     Result line on stdout (ServeWorker);
+//   - merge: the coordinator folds Results into run totals with
+//     engine.BatchStats.Merge, which is commutative and associative, so the
+//     nondeterministic completion order of a worker fleet cannot change the
+//     answer — a sharded sweep is byte-identical to the monolithic run.
+//
+// Failed units are retried (on a restarted worker process if the old one
+// died); completed units are checkpointed to a resumable manifest file — a
+// JSON-lines log holding a fingerprinted header and one Result per finished
+// unit (see manifest.go) — so a killed coordinator resumes where it stopped
+// instead of restarting at rank 0.
+//
+// The subprocess transport (Options.Command, wired to the hidden
+// `refereesim sweep -worker` mode) is deliberately the dumbest thing that
+// scales: newline-delimited JSON over stdin/stdout. Remote transports or
+// corpus backends slot in by implementing the same line protocol.
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+
+	"refereenet/internal/engine"
+)
+
+// Options configures a coordinator run.
+type Options struct {
+	// Workers is the number of concurrent workers; ≤ 0 means 1.
+	Workers int
+	// Command is the argv of the worker subprocess, which must speak the
+	// ServeWorker line protocol on stdin/stdout (refereesim uses
+	// [self, "sweep", "-worker"]). Empty runs workers in-process: the same
+	// protocol over in-memory pipes, without process isolation.
+	Command []string
+	// Env is appended to the inherited environment of worker subprocesses.
+	Env []string
+	// Retries is how many times a failed unit is re-dispatched before the
+	// sweep is declared failed. Worker process death counts as a failure of
+	// the unit that was in flight.
+	Retries int
+	// Manifest is the checkpoint file path; empty disables checkpointing.
+	Manifest string
+	// Log receives coordinator progress lines and worker stderr; nil
+	// discards the former and routes the latter to os.Stderr. It need not
+	// be goroutine-safe: Run serializes all writes through one mutex.
+	Log io.Writer
+}
+
+// Run executes every shard of plan across the worker fleet and returns the
+// merged stats. Units already recorded in the manifest are not re-executed;
+// their checkpointed stats are merged in. On unit failure past the retry
+// budget Run finishes the remaining units, then reports the first failure.
+func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if opts.Log != nil {
+		// One writer shared by the coordinator and every worker's stderr
+		// copier: serialize it so callers may pass any io.Writer.
+		opts.Log = &syncWriter{w: opts.Log}
+	}
+	mf, done, err := openManifest(opts.Manifest, plan)
+	if err != nil {
+		return engine.BatchStats{}, err
+	}
+	defer mf.close()
+
+	var total engine.BatchStats
+	units := make([]Unit, 0, len(plan.Shards))
+	for id, spec := range plan.Shards {
+		if st, ok := done[id]; ok {
+			total.Merge(st)
+			continue
+		}
+		units = append(units, Unit{ID: id, Spec: spec})
+	}
+	c := &coordinator{
+		opts: opts,
+		// Capacity len(units) can never block: a requeue only happens after
+		// a worker drained a slot by taking the failed unit off the channel.
+		work:    make(chan Unit, len(units)),
+		results: make(chan Result, workers),
+		byID:    make(map[int]Unit, len(units)),
+	}
+	c.logf("sweep: %d units (%d restored from manifest), %d workers", len(units), len(done), workers)
+	if len(units) == 0 {
+		return total, nil
+	}
+	for _, u := range units {
+		c.byID[u.ID] = u
+		c.work <- u
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c.workerLoop(id)
+		}(i)
+	}
+
+	tries := make(map[int]int)
+	var firstErr error
+	for outstanding := len(units); outstanding > 0; {
+		res := <-c.results
+		if res.Err == "" {
+			if err := mf.record(res); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			total.Merge(res.Stats)
+			outstanding--
+			continue
+		}
+		tries[res.ID]++
+		if tries[res.ID] > opts.Retries {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sweep: unit %d failed after %d attempts: %s", res.ID, tries[res.ID], res.Err)
+			}
+			c.logf("sweep: unit %d failed permanently: %s", res.ID, res.Err)
+			outstanding--
+			continue
+		}
+		c.logf("sweep: retrying unit %d (attempt %d): %s", res.ID, tries[res.ID]+1, res.Err)
+		c.work <- c.byID[res.ID]
+	}
+	close(c.work)
+	wg.Wait()
+	return total, firstErr
+}
+
+type coordinator struct {
+	opts    Options
+	work    chan Unit
+	results chan Result
+	byID    map[int]Unit
+}
+
+func (c *coordinator) logf(format string, args ...interface{}) {
+	if c.opts.Log != nil {
+		fmt.Fprintf(c.opts.Log, format+"\n", args...)
+	}
+}
+
+// workerLoop owns one worker slot: it dials a worker (subprocess or
+// in-process), streams units through it, and redials on transport failure.
+// Every unit taken off the work channel produces exactly one Result — that
+// invariant is what lets Run count completions.
+func (c *coordinator) workerLoop(slot int) {
+	for {
+		conn, err := c.dial()
+		if err != nil {
+			// Cannot spawn a worker: burn one unit per attempt so the retry
+			// budget, not this loop, decides when to give up.
+			u, ok := <-c.work
+			if !ok {
+				return
+			}
+			c.results <- Result{ID: u.ID, Err: fmt.Sprintf("spawn worker: %v", err)}
+			continue
+		}
+		broken := false
+		for u := range c.work {
+			res, err := conn.roundTrip(u)
+			if err != nil {
+				c.results <- Result{ID: u.ID, Err: fmt.Sprintf("worker %d: %v", slot, err)}
+				broken = true
+				break
+			}
+			c.results <- res
+		}
+		conn.close()
+		if !broken {
+			return // work channel closed: the sweep is done
+		}
+	}
+}
+
+// workerConn is one live worker, either transport.
+type workerConn struct {
+	enc     *json.Encoder
+	in      *bufio.Scanner
+	closeFn func()
+}
+
+func (c *coordinator) dial() (*workerConn, error) {
+	if len(c.opts.Command) == 0 {
+		// In-process worker: ServeWorker on a goroutine, connected by pipes.
+		ur, uw := io.Pipe()
+		rr, rw := io.Pipe()
+		go func() {
+			err := ServeWorker(ur, rw)
+			rw.CloseWithError(err)
+			ur.CloseWithError(err)
+		}()
+		conn := &workerConn{enc: json.NewEncoder(uw)}
+		conn.in = newResultScanner(rr)
+		conn.closeFn = func() {
+			uw.Close()
+			rr.Close()
+		}
+		return conn, nil
+	}
+	cmd := exec.Command(c.opts.Command[0], c.opts.Command[1:]...)
+	cmd.Env = append(os.Environ(), c.opts.Env...)
+	if c.opts.Log != nil {
+		cmd.Stderr = c.opts.Log
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		stdout.Close()
+		return nil, err
+	}
+	conn := &workerConn{enc: json.NewEncoder(stdin)}
+	conn.in = newResultScanner(stdout)
+	conn.closeFn = func() {
+		stdin.Close()
+		cmd.Wait()
+	}
+	return conn, nil
+}
+
+func newResultScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return sc
+}
+
+// roundTrip sends one unit and reads its result. Any transport error —
+// including a died subprocess, which surfaces as EOF here — is returned so
+// the caller can fail the unit and redial.
+func (c *workerConn) roundTrip(u Unit) (Result, error) {
+	if err := c.enc.Encode(u); err != nil {
+		return Result{}, fmt.Errorf("send unit: %w", err)
+	}
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return Result{}, fmt.Errorf("read result: %w", err)
+		}
+		return Result{}, fmt.Errorf("worker closed stream mid-unit")
+	}
+	var res Result
+	if err := json.Unmarshal(c.in.Bytes(), &res); err != nil {
+		return Result{}, fmt.Errorf("malformed result line: %w", err)
+	}
+	if res.ID != u.ID {
+		return Result{}, fmt.Errorf("result for unit %d, expected %d", res.ID, u.ID)
+	}
+	return res, nil
+}
+
+func (c *workerConn) close() { c.closeFn() }
+
+// syncWriter serializes writes from the coordinator and the worker stderr
+// copiers onto one underlying writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

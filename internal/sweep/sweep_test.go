@@ -1,0 +1,394 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"refereenet/internal/collide"
+	"refereenet/internal/engine"
+
+	// Populate the protocol registry for in-process and re-exec'd workers.
+	_ "refereenet/internal/core"
+	_ "refereenet/internal/gen"
+	_ "refereenet/internal/sketch"
+)
+
+// workerEnv re-execs this test binary as a sweep worker: the subprocess
+// transport tested against the real protocol, with the real registries.
+const workerEnv = "REFEREENET_SWEEP_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// resolveCount counts "counted-gray" resolutions — one per executed unit —
+// so resume tests can assert how much work actually re-ran.
+var resolveCount atomic.Int64
+
+// flakyFailed makes the "flaky-gray" kind fail the first resolution of each
+// distinct range, exercising the coordinator's retry path. Mutex-guarded:
+// resolvers run on concurrent in-process workers.
+var flakyFailed = struct {
+	sync.Mutex
+	m map[uint64]bool
+}{m: map[uint64]bool{}}
+
+func init() {
+	engine.RegisterSource("counted-gray", func(spec engine.SourceSpec) (engine.Source, error) {
+		resolveCount.Add(1)
+		return collide.GraySourceForRange(spec.N, spec.Lo, spec.Hi)
+	})
+	engine.RegisterSource("flaky-gray", func(spec engine.SourceSpec) (engine.Source, error) {
+		flakyFailed.Lock()
+		first := !flakyFailed.m[spec.Lo]
+		flakyFailed.m[spec.Lo] = true
+		flakyFailed.Unlock()
+		if first {
+			return nil, fmt.Errorf("injected transient failure at lo=%d", spec.Lo)
+		}
+		return collide.GraySourceForRange(spec.N, spec.Lo, spec.Hi)
+	})
+}
+
+func grayPlan(t *testing.T, protocol string, n int, units int, decide bool) engine.Plan {
+	t.Helper()
+	total := uint64(1) << uint(n*(n-1)/2)
+	plan, err := SplitGrayRanks(engine.ShardSpec{Protocol: protocol, Decide: decide}, n, 0, total, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func monolithic(t *testing.T, protocol string, n int, decide bool) engine.BatchStats {
+	t.Helper()
+	p, ok := engine.New(protocol, engine.Config{N: n})
+	if !ok {
+		t.Fatalf("protocol %q not registered", protocol)
+	}
+	return engine.RunBatch(p, collide.NewGraySource(n), engine.BatchOptions{Workers: 1, Decide: decide})
+}
+
+// The headline guarantee: a multi-worker sweep over split rank ranges merges
+// to stats identical to the single-process run, for any worker count.
+func TestSweepMatchesMonolithicRun(t *testing.T) {
+	const n = 6
+	want := monolithic(t, "hash16", n, false)
+	for _, workers := range []int{1, 2, 5} {
+		plan := grayPlan(t, "hash16", n, 9, false)
+		got, err := Run(plan, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: sweep stats %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+// Decide-mode sweeps must reproduce the exact family counts the collide
+// package computes — the cross-check the CI end-to-end job scripts.
+func TestSweepDeciderMatchesExactCounts(t *testing.T) {
+	const n = 5
+	plan := grayPlan(t, "oracle-conn", n, 4, true)
+	got, err := Run(plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := collide.Count(n)
+	if got.Accepted != fc.Connected {
+		t.Errorf("sweep accepted %d, exact connected count is %d", got.Accepted, fc.Connected)
+	}
+	if got.Graphs != fc.All {
+		t.Errorf("sweep saw %d graphs, space has %d", got.Graphs, fc.All)
+	}
+}
+
+func TestSweepSubprocessWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	const n = 5
+	want := monolithic(t, "hash16", n, false)
+	plan := grayPlan(t, "hash16", n, 6, false)
+	got, err := Run(plan, Options{
+		Workers: 2,
+		Command: []string{os.Args[0]},
+		Env:     []string{workerEnv + "=1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("subprocess sweep stats %+v, want %+v", got, want)
+	}
+}
+
+func TestSweepResumeSkipsCheckpointedUnits(t *testing.T) {
+	const n, units = 5, 8
+	dir := t.TempDir()
+	want := monolithic(t, "hash16", n, false)
+	plan := grayPlan(t, "hash16", n, units, false)
+	for i := range plan.Shards {
+		plan.Shards[i].Source.Kind = "counted-gray"
+	}
+
+	// Full run, checkpointed.
+	full := filepath.Join(dir, "full.manifest")
+	resolveCount.Store(0)
+	got, err := Run(plan, Options{Workers: 2, Manifest: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("checkpointed sweep stats %+v, want %+v", got, want)
+	}
+	if c := resolveCount.Load(); c != units {
+		t.Fatalf("full run executed %d units, want %d", c, units)
+	}
+
+	// Simulate a coordinator killed after 3 completed units: keep the
+	// header plus the first 3 checkpoint lines.
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != units+1 {
+		t.Fatalf("manifest has %d lines, want header+%d", len(lines), units)
+	}
+	partial := filepath.Join(dir, "partial.manifest")
+	// A torn trailing line — killed mid-append — must also be tolerated.
+	torn := strings.Join(lines[:4], "\n") + "\n" + lines[4][:len(lines[4])/2]
+	if err := os.WriteFile(partial, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resolveCount.Store(0)
+	got, err = Run(plan, Options{Workers: 2, Manifest: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("resumed sweep stats %+v, want %+v", got, want)
+	}
+	if c := resolveCount.Load(); c != units-3 {
+		t.Errorf("resume executed %d units, want %d (3 checkpointed)", c, units-3)
+	}
+
+	// The resume must have trimmed the torn line before appending — a
+	// second resume of the same file restores everything. (Appending onto
+	// the torn bytes would glue two records into an unparseable line and
+	// silently discard it and every record after it.)
+	resolveCount.Store(0)
+	got, err = Run(plan, Options{Workers: 2, Manifest: partial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("second resume stats %+v, want %+v", got, want)
+	}
+	if c := resolveCount.Load(); c != 0 {
+		t.Errorf("second resume executed %d units, want 0 (all checkpointed after repair)", c)
+	}
+
+	// Resuming a finished manifest executes nothing.
+	resolveCount.Store(0)
+	got, err = Run(plan, Options{Workers: 2, Manifest: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("no-op resume stats %+v, want %+v", got, want)
+	}
+	if c := resolveCount.Load(); c != 0 {
+		t.Errorf("no-op resume executed %d units, want 0", c)
+	}
+}
+
+func TestSweepManifestRejectsDifferentPlan(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.manifest")
+	planA := grayPlan(t, "hash16", 4, 4, false)
+	if _, err := Run(planA, Options{Workers: 1, Manifest: path}); err != nil {
+		t.Fatal(err)
+	}
+	planB := grayPlan(t, "degree", 4, 4, false)
+	if _, err := Run(planB, Options{Workers: 1, Manifest: path}); err == nil {
+		t.Error("manifest from a different plan was accepted")
+	} else if !strings.Contains(err.Error(), "different plan") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestSweepRetriesTransientFailures(t *testing.T) {
+	const n = 4
+	want := monolithic(t, "degree", n, false)
+	plan := grayPlan(t, "degree", n, 3, false)
+	for i := range plan.Shards {
+		plan.Shards[i].Source.Kind = "flaky-gray"
+	}
+	// Every unit fails once; one retry each must heal the sweep.
+	got, err := Run(plan, Options{Workers: 2, Retries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("retried sweep stats %+v, want %+v", got, want)
+	}
+}
+
+func TestSweepPermanentFailureReported(t *testing.T) {
+	plan := engine.Plan{Shards: []engine.ShardSpec{{
+		Protocol: "degree",
+		Source:   engine.SourceSpec{Kind: "no-such-kind"},
+	}}}
+	if _, err := Run(plan, Options{Workers: 1, Retries: 1}); err == nil {
+		t.Error("sweep with an unresolvable unit reported success")
+	}
+}
+
+func TestSweepDeadWorkerCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	plan := grayPlan(t, "degree", 4, 2, false)
+	_, err := Run(plan, Options{Workers: 1, Retries: 1, Command: []string{"/bin/false"}})
+	if err == nil {
+		t.Error("sweep against a dying worker command reported success")
+	}
+}
+
+func TestSplitGrayRanksCoverage(t *testing.T) {
+	const n = 5
+	total := uint64(1) << uint(n*(n-1)/2)
+	for _, units := range []int{1, 3, 7, 64} {
+		plan, err := SplitGrayRanks(engine.ShardSpec{Protocol: "degree"}, n, 0, total, units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Shards) != units {
+			t.Fatalf("units=%d: got %d shards", units, len(plan.Shards))
+		}
+		var covered uint64
+		prev := uint64(0)
+		for i, s := range plan.Shards {
+			if s.Source.Lo != prev {
+				t.Fatalf("units=%d shard %d: starts at %d, previous ended at %d", units, i, s.Source.Lo, prev)
+			}
+			if s.Source.Hi <= s.Source.Lo {
+				t.Fatalf("units=%d shard %d: empty range [%d,%d)", units, i, s.Source.Lo, s.Source.Hi)
+			}
+			covered += s.Source.Hi - s.Source.Lo
+			prev = s.Source.Hi
+		}
+		if covered != total || prev != total {
+			t.Fatalf("units=%d: covered %d ranks ending at %d, want %d", units, covered, prev, total)
+		}
+	}
+	// More units than ranks clamps rather than emitting empty shards.
+	plan, err := SplitGrayRanks(engine.ShardSpec{Protocol: "degree"}, 2, 0, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 2 {
+		t.Errorf("clamp: got %d shards, want 2", len(plan.Shards))
+	}
+}
+
+func TestSplitFamilyCoverage(t *testing.T) {
+	plan, err := SplitFamily(engine.ShardSpec{Protocol: "forest"}, "tree", 20, 0, 0, 7, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(plan.Shards))
+	}
+	sum := 0
+	seeds := map[int64]bool{}
+	for _, s := range plan.Shards {
+		sum += s.Source.Count
+		seeds[s.Source.Seed] = true
+	}
+	if sum != 10 {
+		t.Errorf("shard counts sum to %d, want 10", sum)
+	}
+	if len(seeds) != 4 {
+		t.Errorf("shards share seeds: %d distinct of 4", len(seeds))
+	}
+	st, err := Run(plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Graphs != 10 {
+		t.Errorf("family sweep ran %d graphs, want 10", st.Graphs)
+	}
+}
+
+func TestFingerprintDistinguishesPlans(t *testing.T) {
+	fp := func(p engine.Plan) string {
+		t.Helper()
+		s, err := Fingerprint(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a := grayPlan(t, "hash16", 5, 4, false)
+	b := grayPlan(t, "hash16", 5, 4, true)
+	if fp(a) == fp(b) {
+		t.Error("different plans share a fingerprint")
+	}
+	if fp(a) != fp(grayPlan(t, "hash16", 5, 4, false)) {
+		t.Error("identical plans disagree on fingerprint")
+	}
+	// A plan JSON cannot represent (NaN edge probability straight from a
+	// -p flag) must error, not panic, and a manifest run must surface it.
+	bad := engine.Plan{Shards: []engine.ShardSpec{{
+		Protocol: "degree",
+		Source:   engine.SourceSpec{Kind: "family", Family: "gnp", N: 4, P: math.NaN(), Count: 1},
+	}}}
+	if _, err := Fingerprint(bad); err == nil {
+		t.Error("NaN plan fingerprinted without error")
+	}
+	if _, err := Run(bad, Options{Workers: 1, Manifest: filepath.Join(t.TempDir(), "nan.manifest")}); err == nil {
+		t.Error("NaN plan ran with a manifest without error")
+	}
+}
+
+// A reused template spec must not leak stale source fields into gray plans:
+// two logically identical plans must fingerprint identically regardless of
+// the template's history.
+func TestSplitGrayRanksIgnoresTemplateSourceJunk(t *testing.T) {
+	clean := engine.ShardSpec{Protocol: "degree"}
+	dirty := engine.ShardSpec{
+		Protocol: "degree",
+		Source:   engine.SourceSpec{Kind: "family", Family: "gnp", Count: 99, Seed: 7, P: 0.5},
+	}
+	a, err := SplitGrayRanks(clean, 4, 0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SplitGrayRanks(dirty, 4, 0, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, _ := Fingerprint(a)
+	fpB, _ := Fingerprint(b)
+	if fpA != fpB {
+		t.Errorf("template source junk leaked into the plan:\n%+v\nvs\n%+v", a.Shards[0], b.Shards[0])
+	}
+}

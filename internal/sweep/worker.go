@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"refereenet/internal/engine"
+)
+
+// Unit is one work item on the coordinator→worker wire: a shard spec tagged
+// with its position in the plan. IDs are plan indices, so they are stable
+// across runs of the same plan — the property checkpoint resume relies on.
+type Unit struct {
+	ID   int              `json:"id"`
+	Spec engine.ShardSpec `json:"spec"`
+}
+
+// Result is the worker→coordinator reply (and the manifest checkpoint
+// record): the merged stats of one executed unit, or the execution error.
+type Result struct {
+	ID    int               `json:"id"`
+	Stats engine.BatchStats `json:"stats"`
+	Err   string            `json:"err,omitempty"`
+}
+
+// maxLineBytes bounds one JSON line on the wire. Specs and stats are small;
+// a line this long means a corrupted stream.
+const maxLineBytes = 1 << 20
+
+// ServeWorker is the worker half of the sweep protocol: it reads one Unit
+// per line from r, executes each spec through the engine's plan registries
+// (engine.ExecuteShard), and writes one Result line to w, flushed per unit
+// so the coordinator sees completions immediately. A spec that fails to
+// resolve or execute produces a Result with Err set — the worker itself
+// stays alive for the next unit. ServeWorker returns when r reaches EOF
+// (the coordinator closed the pipe) or on an unrecoverable stream error.
+//
+// cmd/refereesim wires this to stdin/stdout behind the hidden
+// `sweep -worker` mode; tests drive it over in-process pipes.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	out := bufio.NewWriter(w)
+	for in.Scan() {
+		line := in.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var u Unit
+		if err := json.Unmarshal(line, &u); err != nil {
+			return fmt.Errorf("sweep: malformed unit line: %w", err)
+		}
+		res := Result{ID: u.ID}
+		st, err := engine.ExecuteShard(u.Spec)
+		if err != nil {
+			res.Err = err.Error()
+		} else {
+			res.Stats = st
+		}
+		buf, err := json.Marshal(res)
+		if err != nil {
+			return fmt.Errorf("sweep: encode result: %w", err)
+		}
+		buf = append(buf, '\n')
+		if _, err := out.Write(buf); err != nil {
+			return fmt.Errorf("sweep: write result: %w", err)
+		}
+		if err := out.Flush(); err != nil {
+			return fmt.Errorf("sweep: flush result: %w", err)
+		}
+	}
+	return in.Err()
+}
