@@ -5,6 +5,7 @@ package refereenet_test
 
 import (
 	"fmt"
+	"net"
 	"testing"
 
 	"refereenet/internal/bits"
@@ -230,6 +231,43 @@ func BenchmarkSweepLocal(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				st, err := sweep.Run(plan, sweep.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Graphs != 1<<15 {
+					b.Fatalf("swept %d graphs", st.Graphs)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepTCP is BenchmarkSweepLocal over the network transport: the
+// same plan, but units round-trip through `serve` daemons on loopback TCP
+// (one daemon per worker slot, handshake included in the connection setup
+// but amortized over the run). The delta against SweepLocal is the price of
+// crossing a socket instead of a pipe — the number that says what a
+// cross-machine fleet pays per unit before real network latency is added.
+func BenchmarkSweepTCP(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("hash16/n=6/w=%d", workers), func(b *testing.B) {
+			addrs := make([]string, workers)
+			for i := range addrs {
+				l, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				go sweep.Serve(l, sweep.ServeOptions{})
+				addrs[i] = l.Addr().String()
+			}
+			plan, err := sweep.SplitGrayRanks(engine.ShardSpec{Protocol: "hash16"}, 6, 0, 1<<15, 4*workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := sweep.Run(plan, sweep.Options{Dial: addrs})
 				if err != nil {
 					b.Fatal(err)
 				}

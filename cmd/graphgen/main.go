@@ -1,19 +1,24 @@
 // Command graphgen emits generated graphs as edge lists or DOT — handy for
-// piping into external tools or eyeballing the gadget constructions.
+// piping into external tools or eyeballing the gadget constructions — or,
+// with -emit, writes a word-packed edge-mask corpus file that
+// `refereesim sweep -corpus` (and any "file"-kind shard spec) sweeps over.
 //
 // Usage:
 //
 //	graphgen -gen apollonian -n 20 -format dot
-//	graphgen -gen fig1gadget -format dot   # the paper's Figure 1
+//	graphgen -gen fig1gadget -format dot              # the paper's Figure 1
+//	graphgen -gen gnp -n 10 -count 5000 -emit gnp10.corpus
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 
 	"refereenet/internal/core"
+	"refereenet/internal/corpus"
 	"refereenet/internal/gen"
 	"refereenet/internal/graph"
 )
@@ -27,9 +32,37 @@ func main() {
 	p := flag.Float64("p", 0.3, "edge probability")
 	seed := flag.Int64("seed", 1, "random seed")
 	format := flag.String("format", "edges", "output: edges|dot")
+	emit := flag.String("emit", "", "write a word-packed edge-mask corpus to this path instead of printing (requires C(n,2) ≤ 64, i.e. n ≤ 11)")
+	count := flag.Int("count", 1, "graphs to draw into the corpus in -emit mode (one RNG stream, so each draw differs for random families)")
 	flag.Parse()
 
-	g := build(*genName, *n, *k, *p, *seed)
+	rng := gen.NewRand(*seed)
+	if *emit != "" {
+		if *count < 1 {
+			log.Fatalf("-emit needs -count ≥ 1, got %d", *count)
+		}
+		masks := make([]uint64, 0, *count)
+		nOut := 0
+		for i := 0; i < *count; i++ {
+			g := build(rng, *genName, *n, *k, *p)
+			if c2 := g.N() * (g.N() - 1) / 2; c2 > 64 {
+				log.Fatalf("family %q yields n=%d (C(n,2)=%d > 64 edge bits): too large for a word-packed corpus", *genName, g.N(), c2)
+			}
+			if nOut == 0 {
+				nOut = g.N()
+			} else if g.N() != nOut {
+				log.Fatalf("family %q yielded both n=%d and n=%d; a corpus holds one size", *genName, nOut, g.N())
+			}
+			masks = append(masks, g.EdgeMask())
+		}
+		if err := corpus.WriteFile(*emit, nOut, masks); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d graphs, n=%d\n", *emit, len(masks), nOut)
+		return
+	}
+
+	g := build(rng, *genName, *n, *k, *p)
 	switch *format {
 	case "edges":
 		if err := g.WriteEdgeList(os.Stdout); err != nil {
@@ -42,8 +75,7 @@ func main() {
 	}
 }
 
-func build(name string, n, k int, p float64, seed int64) *graph.Graph {
-	rng := gen.NewRand(seed)
+func build(rng *rand.Rand, name string, n, k int, p float64) *graph.Graph {
 	switch name {
 	case "tree":
 		return gen.RandomTree(rng, n)

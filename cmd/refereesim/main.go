@@ -23,6 +23,18 @@
 //	refereesim sweep -protocol oracle-conn -decide -n 6 -workers 2
 //	refereesim sweep -protocol hash16 -n 8 -ranks 0:134217728 -manifest n8.manifest
 //	refereesim sweep -gen gnp -n 64 -count 100000 -protocol sketch-conn
+//	refereesim sweep -protocol hash16 -corpus adversarial.corpus
+//
+// The serve subcommand turns this binary into a long-lived worker daemon:
+// the same Unit/Result line protocol over accepted TCP connections, behind a
+// handshake that rejects coordinators built from a different registry lineup
+// or wire version (docs/sweep-protocol.md specifies the wire format). A
+// coordinator drives a remote fleet with -connect, splitting the plan across
+// fleets (';'-separated) and failing over within a fleet (','-separated):
+//
+//	refereesim serve -listen :7171                 # on every worker machine
+//	refereesim sweep -protocol hash16 -n 8 -connect host1:7171,host2:7171
+//	refereesim sweep -protocol hash16 -n 8 -connect 'rack1:7171;rack2:7171' -manifest n8.manifest
 package main
 
 import (
@@ -48,6 +60,10 @@ func main() {
 	log.SetPrefix("refereesim: ")
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		runSweep(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 	genName := flag.String("gen", "ktree", fmt.Sprintf("graph family: %v", gen.FamilyNames()))

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+
+	"refereenet/internal/engine"
+	"refereenet/internal/sweep"
+)
+
+// runServe is the `refereesim serve` worker daemon: a long-lived process
+// that accepts sweep coordinator connections and serves the JSON-lines
+// Unit/Result protocol on each, behind the registry-fingerprint handshake.
+// Point `refereesim sweep -connect host:port` (from any machine) at it.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", ":7171", "TCP address to accept sweep coordinators on (host:port; port 0 picks a free one)")
+	verbose := fs.Bool("v", false, "log every connection to stderr")
+	fs.Parse(args)
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address on stdout, flushed before serving, so scripts
+	// that started us with port 0 can scrape where to connect.
+	fmt.Printf("listening %s protocol=v%d registry=%.12s\n",
+		l.Addr(), sweep.ProtocolVersion, engine.RegistryFingerprint())
+	os.Stdout.Sync()
+
+	var logw io.Writer
+	if *verbose {
+		logw = os.Stderr
+	}
+	if err := sweep.Serve(l, sweep.ServeOptions{Log: logw}); err != nil {
+		log.Fatal(err)
+	}
+}

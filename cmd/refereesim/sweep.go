@@ -11,14 +11,16 @@ import (
 	"time"
 
 	"refereenet/internal/collide"
+	"refereenet/internal/corpus"
 	"refereenet/internal/engine"
 	"refereenet/internal/sweep"
 )
 
-// runSweep is the `refereesim sweep` coordinator: it plans a rank-range or
-// family sweep, fans the units out over worker subprocesses (this same
-// binary in the hidden -worker mode), merges their stats, and checkpoints
-// progress to an optional resumable manifest.
+// runSweep is the `refereesim sweep` coordinator: it plans a rank-range,
+// family or disk-corpus sweep, fans the units out over a worker fleet —
+// subprocesses of this same binary in the hidden -worker mode, or remote
+// `refereesim serve` daemons via -connect — merges their stats, and
+// checkpoints progress to an optional resumable manifest.
 func runSweep(args []string) {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	protocol := fs.String("protocol", "hash16", "registered protocol to sweep (see refereesim -list)")
@@ -30,6 +32,8 @@ func runSweep(args []string) {
 	workers := fs.Int("workers", runtime.NumCPU(), "worker subprocesses")
 	units := fs.Int("units", 0, "work units to split the sweep into (0 = 4 per worker)")
 	ranks := fs.String("ranks", "", "Gray-code rank sub-range lo:hi (default: the whole 2^C(n,2) space); lets a fleet split n ≥ 9 sub-ranges across machines")
+	connect := fs.String("connect", "", "drive remote `refereesim serve` daemons instead of subprocesses: fleets separated by ';', addresses by ',' (e.g. host1:7171,host1:7172;host2:7171); repeat an address for extra streams")
+	corpusPath := fs.String("corpus", "", "sweep a word-packed edge-mask corpus file (written by graphgen -emit) instead of the labelled-graph enumeration")
 	family := fs.String("gen", "", "sweep a generated family (gen.ByName name) instead of the labelled-graph enumeration")
 	count := fs.Int("count", 10000, "graphs to generate in -gen mode")
 	p := fs.Float64("p", 0.2, "edge probability for gnp-style families in -gen mode")
@@ -58,13 +62,43 @@ func runSweep(args []string) {
 	if _, ok := engine.Lookup(*protocol); !ok {
 		log.Fatalf("unknown protocol %q (try refereesim -list)", *protocol)
 	}
+
+	var fleets []sweep.Fleet
+	if *connect != "" {
+		if *inProcess {
+			log.Fatal("-connect and -inprocess are mutually exclusive")
+		}
+		var perr error
+		fleets, perr = sweep.ParseFleets(*connect)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		// Remote fleets size themselves from the address list, not this
+		// machine's CPU count.
+		*workers = 0
+		for _, f := range fleets {
+			*workers += len(f.Addrs)
+		}
+	}
 	if *units <= 0 {
 		*units = 4 * *workers
 	}
 
 	var plan engine.Plan
 	var err error
-	if *family != "" {
+	switch {
+	case *corpusPath != "":
+		if *family != "" || *ranks != "" {
+			log.Fatal("-corpus sweeps a disk corpus and cannot combine with -gen or -ranks")
+		}
+		hdr, herr := corpus.ReadHeader(*corpusPath)
+		if herr != nil {
+			log.Fatal(herr)
+		}
+		// The corpus header, not the -n flag, owns the graph size.
+		shard.Config.N = hdr.N
+		plan, err = sweep.SplitCorpus(shard, *corpusPath, hdr.N, hdr.Count, *units)
+	case *family != "":
 		if *ranks != "" {
 			log.Fatal("-ranks slices the labelled-graph enumeration and cannot combine with -gen; use -count to size a generated sweep")
 		}
@@ -75,7 +109,7 @@ func runSweep(args []string) {
 			log.Fatal(perr)
 		}
 		plan, err = sweep.SplitFamily(shard, *family, *n, *k, *p, *seed, *count, *units)
-	} else {
+	default:
 		if *n < 1 || *n > collide.MaxEnumerationN {
 			log.Fatalf("enumeration sweeps need 1 ≤ n ≤ %d (got %d); use -gen for generated families", collide.MaxEnumerationN, *n)
 		}
@@ -102,7 +136,7 @@ func runSweep(args []string) {
 		Retries:  *retries,
 		Manifest: *manifest,
 	}
-	if !*inProcess {
+	if len(fleets) == 0 && !*inProcess {
 		self, err := os.Executable()
 		if err != nil {
 			log.Fatalf("locate own binary for worker spawning: %v", err)
@@ -116,7 +150,12 @@ func runSweep(args []string) {
 	}
 
 	start := time.Now()
-	st, err := sweep.Run(plan, opts)
+	var st engine.BatchStats
+	if len(fleets) > 0 {
+		st, err = sweep.RunFleets(plan, fleets, opts)
+	} else {
+		st, err = sweep.Run(plan, opts)
+	}
 	elapsed := time.Since(start)
 	if err != nil {
 		log.Fatal(err)

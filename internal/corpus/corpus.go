@@ -1,0 +1,243 @@
+// Package corpus is the disk-backed graph source: word-packed edge masks in
+// a flat binary file, registered as the "file" source kind so sweeps run
+// over curated or adversarial graph sets exactly like they run over the
+// Gray-code enumeration — split into rank-range shards, dispatched to any
+// worker fleet, checkpoint-resumable.
+//
+// The format is deliberately the dumbest thing that seeks: a fixed 24-byte
+// header (magic "RNCORPUS", uint32 version, uint32 n, uint64 count, all
+// little-endian) followed by count uint64 edge masks under the
+// graph.EdgeIndex bit ordering. One word per graph caps n at 11 (C(11,2) =
+// 55 ≤ 64 bits) — the same word-packed representation the enumeration
+// engine uses, so corpora and Gray ranks are interchangeable below the spec
+// layer. Record i lives at byte 24+8i, which is what makes a [Lo, Hi)
+// record-range shard seekable without scanning.
+//
+// `graphgen -emit` writes corpora; `refereesim sweep -corpus` plans over
+// them (see sweep.SplitCorpus).
+package corpus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+
+	"refereenet/internal/engine"
+	"refereenet/internal/graph"
+)
+
+// Magic opens every corpus file.
+const Magic = "RNCORPUS"
+
+// Version is the current format version.
+const Version = 1
+
+// MaxN is the largest graph size a word-packed corpus can hold.
+const MaxN = 11
+
+// headerSize is the fixed byte length of the header; record i starts at
+// headerSize + 8i.
+const headerSize = len(Magic) + 4 + 4 + 8
+
+// Header describes a corpus file.
+type Header struct {
+	// N is the vertex count of every graph in the corpus.
+	N int
+	// Count is the number of edge-mask records.
+	Count uint64
+}
+
+// Write emits a complete corpus file: header plus one record per mask. Masks
+// must fit n (no bits at or above C(n,2)).
+func Write(w io.Writer, n int, masks []uint64) error {
+	if n < 1 || n > MaxN {
+		return fmt.Errorf("corpus: n=%d outside [1,%d]", n, MaxN)
+	}
+	edgeBits := uint(n * (n - 1) / 2)
+	bw := bufio.NewWriter(w)
+	bw.WriteString(Magic)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], Version)
+	bw.Write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(n))
+	bw.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:], uint64(len(masks)))
+	bw.Write(scratch[:])
+	for i, m := range masks {
+		if edgeBits < 64 && m>>edgeBits != 0 {
+			return fmt.Errorf("corpus: record %d mask %#x has bits beyond C(%d,2)=%d", i, m, n, edgeBits)
+		}
+		binary.LittleEndian.PutUint64(scratch[:], m)
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return fmt.Errorf("corpus: write record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a corpus to path (atomic enough for our purposes: an
+// error leaves a partial file that ReadHeader will reject on count
+// mismatch).
+func WriteFile(path string, n int, masks []uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: create %s: %w", path, err)
+	}
+	if err := Write(f, n, masks); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadHeader opens path, validates the header against the file size, and
+// returns it — the plan stage's view of a corpus (sweep.SplitCorpus sizes
+// its shards from Count).
+func ReadHeader(path string) (Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	defer f.Close()
+	h, err := readHeader(f)
+	if err != nil {
+		return Header{}, fmt.Errorf("corpus: %s: %w", path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return Header{}, fmt.Errorf("corpus: stat %s: %w", path, err)
+	}
+	if want := int64(headerSize) + 8*int64(h.Count); info.Size() != want {
+		return Header{}, fmt.Errorf("corpus: %s is %d bytes, header promises %d (%d records)",
+			path, info.Size(), want, h.Count)
+	}
+	return h, nil
+}
+
+func readHeader(r io.Reader) (Header, error) {
+	buf := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Header{}, fmt.Errorf("read header: %w", err)
+	}
+	if string(buf[:len(Magic)]) != Magic {
+		return Header{}, fmt.Errorf("bad magic %q (not a corpus file)", buf[:len(Magic)])
+	}
+	rest := buf[len(Magic):]
+	if v := binary.LittleEndian.Uint32(rest[:4]); v != Version {
+		return Header{}, fmt.Errorf("format version %d, this binary reads %d", v, Version)
+	}
+	n := int(binary.LittleEndian.Uint32(rest[4:8]))
+	if n < 1 || n > MaxN {
+		return Header{}, fmt.Errorf("header n=%d outside [1,%d]", n, MaxN)
+	}
+	return Header{N: n, Count: binary.LittleEndian.Uint64(rest[8:16])}, nil
+}
+
+// FileSource streams the records [lo, hi) of a corpus file through ONE
+// reused *graph.Graph, toggling only the edges whose mask bits differ
+// between consecutive records — the corpus counterpart of collide.GraySource
+// (and, like it, engine.Volatile: the yielded pointer is only valid until
+// the next Next call). The underlying file closes at stream exhaustion.
+type FileSource struct {
+	f    *os.File
+	br   *bufio.Reader
+	n    int
+	left uint64
+	mask uint64
+	g    *graph.Graph
+}
+
+// NewFileSource opens a corpus and positions at record lo. lo = hi = 0 means
+// the whole corpus; otherwise records [lo, hi) with hi ≤ Count.
+func NewFileSource(path string, lo, hi uint64) (*FileSource, error) {
+	h, err := ReadHeader(path)
+	if err != nil {
+		return nil, err
+	}
+	if lo == 0 && hi == 0 {
+		hi = h.Count
+	}
+	if lo > hi || hi > h.Count {
+		return nil, fmt.Errorf("corpus: record range [%d,%d) out of bounds for %s (%d records)", lo, hi, path, h.Count)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	if _, err := f.Seek(int64(headerSize)+8*int64(lo), io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: seek %s: %w", path, err)
+	}
+	return &FileSource{f: f, br: bufio.NewReaderSize(f, 64*1024), n: h.N, left: hi - lo}, nil
+}
+
+// N returns the vertex count of the corpus's graphs.
+func (s *FileSource) N() int { return s.n }
+
+// Next implements engine.Source. The returned graph is reused by the next
+// call and must not be retained. A short or corrupt file surfaces as a
+// panic: the header was validated against the file size at open, so hitting
+// EOF mid-record means the file changed underneath the sweep.
+func (s *FileSource) Next() *graph.Graph {
+	if s.left == 0 {
+		s.Close()
+		return nil
+	}
+	var rec [8]byte
+	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+		s.Close() // don't leak the fd into the recover() above us
+		panic(fmt.Sprintf("corpus: file truncated mid-stream: %v", err))
+	}
+	s.left--
+	mask := binary.LittleEndian.Uint64(rec[:])
+	if s.g == nil {
+		s.mask = mask
+		s.g = graph.FromEdgeMask(s.n, mask)
+		return s.g
+	}
+	for diff := s.mask ^ mask; diff != 0; diff &= diff - 1 {
+		u, v := graph.EdgePair(s.n, bits.TrailingZeros64(diff))
+		s.g.ToggleEdge(u, v)
+	}
+	s.mask = mask
+	return s.g
+}
+
+// Mask returns the edge mask of the graph most recently yielded by Next.
+func (s *FileSource) Mask() uint64 { return s.mask }
+
+// Volatile implements engine.Volatile: Next reuses one graph.
+func (s *FileSource) Volatile() bool { return true }
+
+// Close releases the underlying file. Next calls it automatically at
+// exhaustion; callers abandoning a stream early should call it themselves.
+func (s *FileSource) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+func init() {
+	// The disk corpus as a plannable source: spec {kind: "file", path, lo,
+	// hi, n}. Lo = Hi = 0 means the whole corpus. Spec.N, when nonzero,
+	// must match the file header — the guard that a plan built against one
+	// corpus is not silently executed against a regenerated file of a
+	// different size on some worker machine.
+	engine.RegisterSource("file", func(spec engine.SourceSpec) (engine.Source, error) {
+		src, err := NewFileSource(spec.Path, spec.Lo, spec.Hi)
+		if err != nil {
+			return nil, err
+		}
+		if spec.N != 0 && spec.N != src.N() {
+			src.Close()
+			return nil, fmt.Errorf("corpus: spec names n=%d, %s holds n=%d graphs", spec.N, spec.Path, src.N())
+		}
+		return src, nil
+	})
+}

@@ -1,0 +1,175 @@
+package corpus
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"refereenet/internal/engine"
+	"refereenet/internal/graph"
+
+	// Protocols for the execute-stage round trip through the "file" kind.
+	_ "refereenet/internal/core"
+)
+
+func writeTestCorpus(t *testing.T, n int, masks []uint64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.corpus")
+	if err := WriteFile(path, n, masks); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func randomMasks(n, count int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	limit := uint64(1) << uint(n*(n-1)/2)
+	masks := make([]uint64, count)
+	for i := range masks {
+		masks[i] = rng.Uint64() % limit
+	}
+	return masks
+}
+
+func TestFileSourceRoundTrip(t *testing.T) {
+	const n = 7
+	masks := randomMasks(n, 200, 1)
+	path := writeTestCorpus(t, n, masks)
+
+	h, err := ReadHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != n || h.Count != uint64(len(masks)) {
+		t.Fatalf("header %+v, want n=%d count=%d", h, n, len(masks))
+	}
+
+	src, err := NewFileSource(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range masks {
+		g := src.Next()
+		if g == nil {
+			t.Fatalf("stream ended at record %d of %d", i, len(masks))
+		}
+		if src.Mask() != want {
+			t.Fatalf("record %d: mask %#x, want %#x", i, src.Mask(), want)
+		}
+		if !g.Equal(graph.FromEdgeMask(n, want)) {
+			t.Fatalf("record %d: toggled graph differs from mask constructor", i)
+		}
+	}
+	if g := src.Next(); g != nil {
+		t.Fatal("stream yielded a graph past the corpus end")
+	}
+}
+
+func TestFileSourceRecordRange(t *testing.T) {
+	const n = 6
+	masks := randomMasks(n, 50, 2)
+	path := writeTestCorpus(t, n, masks)
+
+	src, err := NewFileSource(path, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for g := src.Next(); g != nil; g = src.Next() {
+		if src.Mask() != masks[10+count] {
+			t.Fatalf("record %d of range: mask %#x, want %#x", count, src.Mask(), masks[10+count])
+		}
+		count++
+	}
+	if count != 15 {
+		t.Errorf("range [10,25) yielded %d records", count)
+	}
+
+	if _, err := NewFileSource(path, 40, 60); err == nil {
+		t.Error("out-of-bounds range accepted")
+	}
+	if _, err := NewFileSource(path, 20, 10); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+// The "file" source kind must execute through the spec layer exactly like a
+// slice of the same graphs — the property that makes disk corpora
+// interchangeable with Gray ranges below the plan vocabulary.
+func TestFileKindMatchesSliceExecution(t *testing.T) {
+	const n = 6
+	masks := randomMasks(n, 120, 3)
+	path := writeTestCorpus(t, n, masks)
+
+	graphs := make([]*graph.Graph, len(masks))
+	for i, m := range masks {
+		graphs[i] = graph.FromEdgeMask(n, m)
+	}
+	p, ok := engine.New("degeneracy", engine.Config{N: n})
+	if !ok {
+		t.Fatal("degeneracy not registered")
+	}
+	want := engine.RunBatch(p, engine.NewSliceSource(graphs), engine.BatchOptions{Workers: 1, Decide: true})
+
+	got, err := engine.ExecuteShard(engine.ShardSpec{
+		Protocol: "degeneracy",
+		Config:   engine.Config{N: n},
+		Decide:   true,
+		Source:   engine.SourceSpec{Kind: "file", Path: path, N: n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("file-kind stats %+v, want %+v", got, want)
+	}
+}
+
+func TestFileKindValidation(t *testing.T) {
+	const n = 5
+	path := writeTestCorpus(t, n, randomMasks(n, 10, 4))
+
+	// Spec n disagreeing with the header must be refused.
+	if _, err := engine.ResolveSource(engine.SourceSpec{Kind: "file", Path: path, N: n + 1}); err == nil {
+		t.Error("n mismatch accepted")
+	} else if !strings.Contains(err.Error(), "n=") {
+		t.Errorf("unexpected mismatch error: %v", err)
+	}
+	// Missing file.
+	if _, err := engine.ResolveSource(engine.SourceSpec{Kind: "file", Path: path + ".nope"}); err == nil {
+		t.Error("missing corpus accepted")
+	}
+	// Not a corpus file.
+	junk := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(junk, []byte("definitely not a corpus"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.ResolveSource(engine.SourceSpec{Kind: "file", Path: junk}); err == nil {
+		t.Error("junk file accepted")
+	}
+	// Truncated mid-records: header promises more than the file holds.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.corpus")
+	if err := os.WriteFile(trunc, raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHeader(trunc); err == nil {
+		t.Error("truncated corpus accepted")
+	}
+}
+
+func TestWriteRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFile(filepath.Join(dir, "big.corpus"), MaxN+1, nil); err == nil {
+		t.Error("n beyond the word-packed limit accepted")
+	}
+	// A mask with bits beyond C(n,2) would silently drop edges on read.
+	if err := WriteFile(filepath.Join(dir, "wide.corpus"), 4, []uint64{1 << 6}); err == nil {
+		t.Error("mask wider than C(4,2)=6 bits accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// This file exports the two identities the distributed sweep layer hangs
+// correctness on:
+//
+//   - a Plan fingerprint, which ties a checkpoint manifest to the exact sweep
+//     it records, so a resumed coordinator cannot silently mix results from
+//     two different plans; and
+//   - a registry fingerprint, which ties a worker binary to the vocabulary it
+//     resolves specs against, so a coordinator cannot hand units to a stale
+//     daemon whose registries would interpret them differently.
+
+// Fingerprint returns the hex SHA-256 of the plan's canonical JSON form. Two
+// plans fingerprint equal iff they describe the same sweep shard for shard.
+// It errors on plans JSON cannot represent (a NaN edge probability reaches
+// here straight from a -p flag).
+func (p Plan) Fingerprint() (string, error) {
+	buf, err := json.Marshal(p)
+	if err != nil {
+		return "", fmt.Errorf("engine: plan is not serializable: %w", err)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RegistryFingerprint identifies the spec vocabulary this binary links: the
+// hex SHA-256 over every registered protocol name, scheduler name and source
+// kind, each section delimited so no concatenation of names collides across
+// sections. Two processes with equal fingerprints resolve the same ShardSpecs
+// through the same registries — the precondition for shipping units of work
+// between them. The sweep handshake exchanges this value so that a worker
+// built from a different protocol lineup is rejected at connect time instead
+// of diverging mid-sweep.
+//
+// The fingerprint deliberately covers names, not implementations: it catches
+// the common drift (a protocol added, renamed or dropped between builds), not
+// a semantic change behind an unchanged name — the cross-check jobs that
+// compare sharded against monolithic stats own that deeper invariant.
+func RegistryFingerprint() string {
+	h := sha256.New()
+	for _, section := range [][]string{Names(), SchedulerNames(), SourceKinds()} {
+		for _, name := range section {
+			io.WriteString(h, name)
+			h.Write([]byte{0})
+		}
+		h.Write([]byte{1})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

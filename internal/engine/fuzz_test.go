@@ -2,15 +2,28 @@ package engine_test
 
 // FuzzProtocolScheduler is the ROADMAP's registry-driven property harness:
 // the fuzzer picks a (protocol × scheduler × labelled graph) combination and
-// the property is the engine's core claim — schedulers are wall-clock-only,
-// so every scheduler (and the batch execute path) must produce the transcript
-// of a naive direct evaluation of Γˡ, bit for bit. Unlike the exhaustive
-// differential sweep in engine_test.go, the fuzzer also explores protocol
-// seeds and skewed worker counts, and keeps exploring under `go test -fuzz`.
+// asserts three invariants per draw —
+//
+//   - scheduling: schedulers are wall-clock-only, so every scheduler (and
+//     the batch execute path) must produce the transcript of a naive direct
+//     evaluation of Γˡ, bit for bit;
+//   - frugality: a protocol with a declared per-node budget (Strawman.Bits
+//     for the strawman lineup, Sized.MessageBits for the sketches) must
+//     never emit a message longer than it — the bound every capacity
+//     argument in the paper is denominated in;
+//   - reconstruction fixpoints: when a Reconstructor's referee claims
+//     success, re-encoding its output graph must reproduce the referee's
+//     input transcript exactly. A reconstructor that returns a wrong graph
+//     without an error breaks this even when no test knows the right answer.
+//
+// Unlike the exhaustive differential sweep in engine_test.go, the fuzzer
+// also explores protocol seeds and skewed worker counts, and keeps exploring
+// under `go test -fuzz`.
 
 import (
 	"testing"
 
+	"refereenet/internal/bits"
 	"refereenet/internal/collide"
 	"refereenet/internal/engine"
 	"refereenet/internal/graph"
@@ -56,7 +69,54 @@ func FuzzProtocolScheduler(f *testing.F) {
 			t.Fatalf("%s mask=%d: batch stats %+v, transcript total=%d max=%d",
 				name, mask, st, want.TotalBits(), want.MaxBits())
 		}
+
+		assertFrugalityBudget(t, name, p, n, mask, want)
+		assertReconstructionFixpoint(t, name, p, n, mask, want)
 	})
+}
+
+// assertFrugalityBudget checks every message against the protocol's declared
+// per-node bit budget, where one exists: the strawman lineup publishes
+// Strawman.Bits, and Sized protocols (the sketches) publish MessageBits —
+// which the batch engine also trusts to pre-size its arenas, so an
+// undershoot here is an overflow there.
+func assertFrugalityBudget(t *testing.T, name string, p engine.Local, n int, mask uint64, tr *engine.Transcript) {
+	t.Helper()
+	check := func(budget int, kind string) {
+		for id, m := range tr.Messages {
+			if m.Len() > budget {
+				t.Fatalf("%s mask=%d: node %d sent %d bits, %s budget is %d",
+					name, mask, id+1, m.Len(), kind, budget)
+			}
+		}
+	}
+	if s, ok := collide.StrawmanByName(name); ok {
+		check(s.Bits(n), "Strawman.Bits")
+	}
+	if sz, ok := p.(interface{ MessageBits(int) int }); ok {
+		check(sz.MessageBits(n), "MessageBits")
+	}
+}
+
+// assertReconstructionFixpoint feeds a reconstructor's claimed output back
+// through the local phase: reconstruct-then-reencode must be the identity on
+// the referee's input transcript whenever the referee does not error.
+func assertReconstructionFixpoint(t *testing.T, name string, p engine.Local, n int, mask uint64, tr *engine.Transcript) {
+	t.Helper()
+	r, ok := p.(engine.Reconstructor)
+	if !ok {
+		return
+	}
+	msgs := append([]bits.String(nil), tr.Messages...)
+	h, err := r.Reconstruct(n, msgs)
+	if err != nil {
+		return // out of the protocol's capability class: an honest refusal
+	}
+	if h.N() != n {
+		t.Fatalf("%s mask=%d: reconstructed %d vertices from an n=%d transcript", name, mask, h.N(), n)
+	}
+	re := naiveTranscript(h, p)
+	assertSameTranscript(t, name, "reconstruct-then-reencode", mask, tr, re)
 }
 
 // The Gray-code enumerator and the mask constructor must yield the same

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 )
@@ -28,8 +29,9 @@ import (
 // resolver (unused fields are ignored).
 type SourceSpec struct {
 	// Kind is the resolver registry key: "gray" (internal/collide, the
-	// labelled-graph Gray-code enumeration of ranks [Lo, Hi)) or "family"
-	// (internal/gen, Count graphs drawn from the named ByName family).
+	// labelled-graph Gray-code enumeration of ranks [Lo, Hi)), "family"
+	// (internal/gen, Count graphs drawn from the named ByName family), or
+	// "file" (internal/corpus, word-packed edge masks read from Path).
 	Kind string `json:"kind"`
 	// N is the graph size.
 	N int `json:"n,omitempty"`
@@ -45,6 +47,11 @@ type SourceSpec struct {
 	K      int     `json:"k,omitempty"`
 	P      float64 `json:"p,omitempty"`
 	Seed   int64   `json:"seed,omitempty"`
+	// Path locates disk-backed kinds ("file", internal/corpus: word-packed
+	// edge masks, records [Lo, Hi)). Workers resolve it on their own
+	// filesystem, so a cross-machine sweep needs the corpus at the same path
+	// everywhere (shared mount or a copy).
+	Path string `json:"path,omitempty"`
 }
 
 // ShardSpec is one unit of planned work: run Protocol over the graphs of
@@ -148,6 +155,14 @@ func ExecuteShard(spec ShardSpec) (BatchStats, error) {
 	src, err := ResolveSource(spec.Source)
 	if err != nil {
 		return BatchStats{}, err
+	}
+	if c, ok := src.(io.Closer); ok {
+		// Closeable sources (the disk corpus) self-close at exhaustion, but
+		// a panic mid-stream unwinds through here — and in a long-lived
+		// serve daemon that converts panics into unit errors, leaking one
+		// descriptor per poisoned unit would eventually starve every sweep
+		// the daemon serves. Close is idempotent for such sources.
+		defer c.Close()
 	}
 	return RunBatch(p, src, opts), nil
 }

@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"refereenet/internal/engine"
+)
+
+// A Fleet names one group of `refereesim serve` daemons reachable from the
+// coordinator — typically the daemons of one machine or rack. The
+// meta-coordinator (RunFleets) splits the global plan across fleets, so a
+// single invocation drives a cross-machine sweep the way Run drives a
+// single-machine one.
+type Fleet struct {
+	// Name labels the fleet in logs; empty derives it from the addresses.
+	Name string
+	// Addrs lists the fleet's daemon endpoints ("host:port"). Repeat an
+	// address to hold multiple concurrent streams into one daemon.
+	Addrs []string
+	// Workers is the number of concurrent unit streams into this fleet;
+	// ≤ 0 means one per address. It also weights how many units of the
+	// global plan the fleet is assigned.
+	Workers int
+}
+
+func (f Fleet) group(opts Options) fleetGroup {
+	workers := f.Workers
+	if workers < 1 {
+		workers = len(f.Addrs)
+	}
+	name := f.Name
+	if name == "" {
+		name = strings.Join(f.Addrs, ",")
+	}
+	return fleetGroup{
+		name:      name,
+		transport: &TCP{Addrs: f.Addrs, Log: opts.Log},
+		workers:   workers,
+	}
+}
+
+// RunFleets is the meta-coordinator: it executes plan across several fleets
+// at once, assigning each fleet a contiguous block of units proportional to
+// its worker count, and merges every fleet's stats into the global totals.
+// All fleets share one manifest (fingerprinted against the *global* plan),
+// so killing the coordinator mid-sweep and rerunning the same invocation
+// resumes the half-finished cross-machine sweep exactly like a
+// single-machine one — whichever fleet originally computed a unit, its
+// checkpointed stats are restored, and only unfinished units are redone.
+//
+// A fleet that fails units past the retry budget does not stop the others:
+// like Run, RunFleets finishes everything it can, then reports the first
+// failure.
+func RunFleets(plan engine.Plan, fleets []Fleet, opts Options) (engine.BatchStats, error) {
+	if len(fleets) == 0 {
+		return engine.BatchStats{}, fmt.Errorf("sweep: no fleets")
+	}
+	opts.Log = wrapLog(opts.Log)
+	groups := make([]fleetGroup, 0, len(fleets))
+	for i, f := range fleets {
+		if len(f.Addrs) == 0 {
+			return engine.BatchStats{}, fmt.Errorf("sweep: fleet %d has no addresses", i)
+		}
+		groups = append(groups, f.group(opts))
+	}
+	return runGroups(plan, opts, groups)
+}
+
+// ParseFleets parses the `-connect` flag vocabulary: fleets separated by
+// ';', addresses within a fleet separated by ','. "a:1,a:2;b:1" is two
+// fleets — one holding two streams into host a, one holding one into host b.
+func ParseFleets(s string) ([]Fleet, error) {
+	var fleets []Fleet
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var addrs []string
+		for _, a := range strings.Split(part, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			if !strings.Contains(a, ":") {
+				return nil, fmt.Errorf("sweep: address %q is not host:port", a)
+			}
+			addrs = append(addrs, a)
+		}
+		if len(addrs) == 0 {
+			continue
+		}
+		fleets = append(fleets, Fleet{Addrs: addrs})
+	}
+	if len(fleets) == 0 {
+		return nil, fmt.Errorf("sweep: no addresses in %q", s)
+	}
+	return fleets, nil
+}

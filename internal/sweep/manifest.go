@@ -3,11 +3,10 @@ package sweep
 import (
 	"bufio"
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 
 	"refereenet/internal/engine"
 )
@@ -28,20 +27,20 @@ type manifestHeader struct {
 }
 
 // Fingerprint returns the hex SHA-256 of the plan's canonical JSON form —
-// the identity the manifest header records. It errors on plans JSON cannot
-// represent (a NaN edge probability reaches here straight from a -p flag).
+// the identity the manifest header records (engine.Plan.Fingerprint, kept
+// re-exported here because the manifest vocabulary lives in this package).
 func Fingerprint(plan engine.Plan) (string, error) {
-	buf, err := json.Marshal(plan)
-	if err != nil {
-		return "", fmt.Errorf("sweep: plan is not serializable: %w", err)
-	}
-	sum := sha256.Sum256(buf)
-	return hex.EncodeToString(sum[:]), nil
+	return plan.Fingerprint()
 }
 
 // manifest appends checkpoint records to an open file. A nil *manifest
-// (checkpointing disabled) accepts writes and drops them.
-type manifest struct{ f *os.File }
+// (checkpointing disabled) accepts writes and drops them. record is
+// mutex-guarded: under RunFleets every fleet's coordinator checkpoints into
+// the one shared manifest.
+type manifest struct {
+	mu sync.Mutex
+	f  *os.File
+}
 
 // openManifest opens or creates the manifest at path for the given plan and
 // returns the stats of already-completed units keyed by unit ID. An empty
@@ -134,6 +133,8 @@ func (m *manifest) record(res Result) error {
 	if err != nil {
 		return fmt.Errorf("sweep: encode checkpoint: %w", err)
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, err := m.f.Write(append(buf, '\n')); err != nil {
 		return fmt.Errorf("sweep: append checkpoint: %w", err)
 	}

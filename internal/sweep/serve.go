@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ServeOptions configures a worker daemon.
+type ServeOptions struct {
+	// Log receives one line per accepted, served and rejected connection;
+	// nil discards. It need not be goroutine-safe.
+	Log io.Writer
+	// HandshakeTimeout bounds how long an accepted connection may take to
+	// complete the handshake before it is dropped (default 10s) — an
+	// accidental connection from a port scanner must not pin a goroutine.
+	HandshakeTimeout time.Duration
+}
+
+// Serve runs the `refereesim serve` worker daemon: it accepts coordinator
+// connections on l until the listener closes, and serves each one on its own
+// goroutine — handshake first (a coordinator built from different registries
+// or a different wire version is turned away with a reason), then ServeWorker
+// over the connection until the coordinator hangs up. One daemon therefore
+// multiplexes any number of concurrent coordinator slots; a sweep that wants
+// two streams into one machine simply dials it twice.
+//
+// Serve returns nil when l is closed (the clean shutdown path) and the
+// accept error otherwise. In-flight connections are not interrupted by
+// shutdown: their goroutines finish serving and exit on their own EOF.
+func Serve(l net.Listener, opts ServeOptions) error {
+	var mu sync.Mutex
+	logf := func(format string, args ...interface{}) {
+		if opts.Log != nil {
+			mu.Lock()
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+			mu.Unlock()
+		}
+	}
+	timeout := opts.HandshakeTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("sweep: accept: %w", err)
+		}
+		go func() {
+			defer nc.Close()
+			addr := nc.RemoteAddr()
+			conn := newLineConn(nc, nc)
+			nc.SetDeadline(time.Now().Add(timeout))
+			if err := serverHandshake(conn); err != nil {
+				logf("serve: %s rejected: %v", addr, err)
+				return
+			}
+			nc.SetDeadline(time.Time{})
+			logf("serve: %s connected", addr)
+			if err := serveUnits(conn.in, nc); err != nil {
+				logf("serve: %s: %v", addr, err)
+				return
+			}
+			logf("serve: %s done", addr)
+		}()
+	}
+}

@@ -6,6 +6,31 @@ import (
 	"refereenet/internal/engine"
 )
 
+// splitRange cuts [lo, hi) into at most units contiguous chunks: floor-sized,
+// with the last chunk absorbing the remainder, and the chunk count clamped to
+// the range size so no chunk is empty. This exact shape is load-bearing — the
+// emitted bounds land in plan fingerprints, so changing the distribution
+// would strand every existing manifest.
+func splitRange(lo, hi uint64, units int) [][2]uint64 {
+	total := hi - lo
+	if units < 1 {
+		units = 1
+	}
+	if uint64(units) > total {
+		units = int(total)
+	}
+	if total == 0 {
+		return nil
+	}
+	chunk := total / uint64(units)
+	out := make([][2]uint64, units)
+	for i := range out {
+		out[i] = [2]uint64{lo + uint64(i)*chunk, lo + uint64(i+1)*chunk}
+	}
+	out[units-1][1] = hi
+	return out
+}
+
 // SplitGrayRanks is the plan stage for enumeration sweeps: it covers the
 // Gray-code ranks [lo, hi) of the n-vertex labelled-graph space with units
 // contiguous shard specs of near-equal size. Disjoint rank ranges enumerate
@@ -16,32 +41,32 @@ func SplitGrayRanks(shard engine.ShardSpec, n int, lo, hi uint64, units int) (en
 	if hi < lo {
 		return engine.Plan{}, fmt.Errorf("sweep: rank range [%d,%d) is inverted", lo, hi)
 	}
-	total := hi - lo
-	if units < 1 {
-		units = 1
-	}
-	if uint64(units) > total && total > 0 {
-		units = int(total)
-	}
 	var plan engine.Plan
-	if total == 0 {
-		return plan, nil
-	}
-	chunk := total / uint64(units)
-	for i := 0; i < units; i++ {
+	for _, r := range splitRange(lo, hi, units) {
 		s := shard
 		// A fresh SourceSpec, not a patched copy: stale family/seed fields
 		// from a reused template must not leak into the plan (they would
 		// change its fingerprint and strand manifests).
-		s.Source = engine.SourceSpec{
-			Kind: "gray",
-			N:    n,
-			Lo:   lo + uint64(i)*chunk,
-			Hi:   lo + uint64(i+1)*chunk,
-		}
-		if i == units-1 {
-			s.Source.Hi = hi
-		}
+		s.Source = engine.SourceSpec{Kind: "gray", N: n, Lo: r[0], Hi: r[1]}
+		plan.Shards = append(plan.Shards, s)
+	}
+	return plan, nil
+}
+
+// SplitCorpus is the plan stage for disk corpora: cover the records
+// [0, count) of the word-packed edge-mask file at path (see internal/corpus)
+// with units contiguous record-range shards. n and count come from the
+// corpus header (corpus.ReadHeader); they are baked into the specs so the
+// plan fingerprint pins the corpus shape and a worker reading a regenerated
+// file of a different size fails loudly instead of merging foreign stats.
+func SplitCorpus(shard engine.ShardSpec, path string, n int, count uint64, units int) (engine.Plan, error) {
+	if path == "" {
+		return engine.Plan{}, fmt.Errorf("sweep: corpus plan needs a path")
+	}
+	var plan engine.Plan
+	for _, r := range splitRange(0, count, units) {
+		s := shard
+		s.Source = engine.SourceSpec{Kind: "file", Path: path, N: n, Lo: r[0], Hi: r[1]}
 		plan.Shards = append(plan.Shards, s)
 	}
 	return plan, nil

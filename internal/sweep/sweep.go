@@ -1,37 +1,38 @@
-// Package sweep is the multi-process shard coordinator on top of the batch
-// pipeline's three stages:
+// Package sweep is the multi-process, multi-machine shard coordinator on top
+// of the batch pipeline's three stages:
 //
-//   - plan: an engine.Plan (built here by SplitGrayRanks/SplitFamily or by
-//     hand) names every shard declaratively — protocol, scheduler and source
-//     spec — and serializes to JSON;
-//   - execute: worker processes receive one Unit (plan index + ShardSpec)
-//     per JSON line on stdin, resolve it against the protocol and
-//     source-kind registries via engine.ExecuteShard, and answer with one
-//     Result line on stdout (ServeWorker);
+//   - plan: an engine.Plan (built here by SplitGrayRanks/SplitFamily/
+//     SplitCorpus or by hand) names every shard declaratively — protocol,
+//     scheduler and source spec — and serializes to JSON;
+//   - execute: workers receive one Unit (plan index + ShardSpec) per JSON
+//     line, resolve it against the protocol and source-kind registries via
+//     engine.ExecuteShard, and answer with one Result line (ServeWorker);
 //   - merge: the coordinator folds Results into run totals with
 //     engine.BatchStats.Merge, which is commutative and associative, so the
 //     nondeterministic completion order of a worker fleet cannot change the
 //     answer — a sharded sweep is byte-identical to the monolithic run.
 //
-// Failed units are retried (on a restarted worker process if the old one
-// died); completed units are checkpointed to a resumable manifest file — a
-// JSON-lines log holding a fingerprinted header and one Result per finished
-// unit (see manifest.go) — so a killed coordinator resumes where it stopped
-// instead of restarting at rank 0.
+// Workers are reached through a Transport (transport.go): in-process pipes,
+// one subprocess per slot (Options.Command, wired to the hidden
+// `refereesim sweep -worker` mode), or TCP connections to long-lived
+// `refereesim serve` daemons (Options.Dial), guarded by a handshake that
+// rejects a worker binary with a different wire version or registry lineup.
+// A dropped connection is the death of the in-flight unit's worker: the unit
+// is retried (on a redialed connection, failing over across daemon addresses
+// with backoff); completed units are checkpointed to a resumable manifest
+// file — a JSON-lines log holding a fingerprinted header and one Result per
+// finished unit (see manifest.go) — so a killed coordinator resumes where it
+// stopped instead of restarting at rank 0. RunFleets (fleet.go) stacks a
+// meta-coordinator on top: one global plan and manifest, split across
+// per-machine fleets.
 //
-// The subprocess transport (Options.Command, wired to the hidden
-// `refereesim sweep -worker` mode) is deliberately the dumbest thing that
-// scales: newline-delimited JSON over stdin/stdout. Remote transports or
-// corpus backends slot in by implementing the same line protocol.
+// The wire protocol is specified in docs/sweep-protocol.md; third-party
+// workers can be written against it.
 package sweep
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
-	"os/exec"
 	"sync"
 
 	"refereenet/internal/engine"
@@ -39,7 +40,8 @@ import (
 
 // Options configures a coordinator run.
 type Options struct {
-	// Workers is the number of concurrent workers; ≤ 0 means 1.
+	// Workers is the number of concurrent worker slots; ≤ 0 means 1 (or,
+	// with Dial, one per address).
 	Workers int
 	// Command is the argv of the worker subprocess, which must speak the
 	// ServeWorker line protocol on stdin/stdout (refereesim uses
@@ -48,9 +50,19 @@ type Options struct {
 	Command []string
 	// Env is appended to the inherited environment of worker subprocesses.
 	Env []string
+	// Dial lists `refereesim serve` daemon addresses ("host:port"). When
+	// non-empty it overrides Command: each worker slot holds one TCP
+	// connection, slots spread round-robin over the addresses, and a slot
+	// whose daemon dies fails over to the others with backoff. List an
+	// address twice to hold two concurrent streams into one daemon.
+	Dial []string
+	// Transport, when non-nil, overrides Command and Dial entirely: every
+	// slot dials through it. It is the extension point for custom couplings
+	// (tests inject failing transports through it).
+	Transport Transport
 	// Retries is how many times a failed unit is re-dispatched before the
-	// sweep is declared failed. Worker process death counts as a failure of
-	// the unit that was in flight.
+	// sweep is declared failed. Worker death counts as a failure of the
+	// unit that was in flight.
 	Retries int
 	// Manifest is the checkpoint file path; empty disables checkpointing.
 	Manifest string
@@ -60,20 +72,53 @@ type Options struct {
 	Log io.Writer
 }
 
+// transport resolves the Options precedence into the Transport worker slots
+// dial through, plus the slot count.
+func (o Options) transport() (Transport, int) {
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	switch {
+	case o.Transport != nil:
+		return o.Transport, workers
+	case len(o.Dial) > 0:
+		if o.Workers < 1 {
+			workers = len(o.Dial)
+		}
+		return &TCP{Addrs: o.Dial, Log: o.Log}, workers
+	case len(o.Command) > 0:
+		return Subprocess{Command: o.Command, Env: o.Env, Stderr: o.Log}, workers
+	default:
+		return InProcess{}, workers
+	}
+}
+
 // Run executes every shard of plan across the worker fleet and returns the
 // merged stats. Units already recorded in the manifest are not re-executed;
 // their checkpointed stats are merged in. On unit failure past the retry
 // budget Run finishes the remaining units, then reports the first failure.
 func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if opts.Log != nil {
-		// One writer shared by the coordinator and every worker's stderr
-		// copier: serialize it so callers may pass any io.Writer.
-		opts.Log = &syncWriter{w: opts.Log}
-	}
+	opts.Log = wrapLog(opts.Log)
+	tr, workers := opts.transport()
+	return runGroups(plan, opts, []fleetGroup{{transport: tr, workers: workers}})
+}
+
+// fleetGroup is one fleet's slice of a sweep: a transport plus how many
+// concurrent slots dial through it. runGroups assigns each group a
+// contiguous block of the pending units.
+type fleetGroup struct {
+	name      string
+	transport Transport
+	workers   int
+}
+
+// runGroups is the executor shared by Run (one group) and RunFleets (one
+// group per fleet): restore the manifest, split the pending units across
+// groups proportionally to their worker counts, run every group's
+// coordinator concurrently against the shared manifest, and merge.
+func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (engine.BatchStats, error) {
+	opts.Log = wrapLog(opts.Log)
 	mf, done, err := openManifest(opts.Manifest, plan)
 	if err != nil {
 		return engine.BatchStats{}, err
@@ -89,18 +134,106 @@ func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
 		}
 		units = append(units, Unit{ID: id, Spec: spec})
 	}
-	c := &coordinator{
-		opts: opts,
-		// Capacity len(units) can never block: a requeue only happens after
-		// a worker drained a slot by taking the failed unit off the channel.
-		work:    make(chan Unit, len(units)),
-		results: make(chan Result, workers),
-		byID:    make(map[int]Unit, len(units)),
-	}
-	c.logf("sweep: %d units (%d restored from manifest), %d workers", len(units), len(done), workers)
+	logf(opts.Log, "sweep: %d units (%d restored from manifest), %d groups", len(units), len(done), len(groups))
 	if len(units) == 0 {
 		return total, nil
 	}
+
+	parts := partitionUnits(units, groups)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for gi := range groups {
+		if len(parts[gi]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(g fleetGroup, part []Unit) {
+			defer wg.Done()
+			c := &coordinator{opts: opts, group: g, mf: mf}
+			st, err := c.run(part)
+			mu.Lock()
+			total.Merge(st)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(groups[gi], parts[gi])
+	}
+	wg.Wait()
+	return total, firstErr
+}
+
+// partitionUnits splits units into contiguous blocks proportional to each
+// group's worker count — the meta-coordinator's "split the global rank space
+// across fleets" step. Every unit lands in exactly one block.
+func partitionUnits(units []Unit, groups []fleetGroup) [][]Unit {
+	totalWeight := 0
+	for _, g := range groups {
+		w := g.workers
+		if w < 1 {
+			w = 1
+		}
+		totalWeight += w
+	}
+	parts := make([][]Unit, len(groups))
+	start, accum := 0, 0
+	for gi, g := range groups {
+		w := g.workers
+		if w < 1 {
+			w = 1
+		}
+		accum += w
+		end := len(units) * accum / totalWeight
+		if gi == len(groups)-1 {
+			end = len(units)
+		}
+		parts[gi] = units[start:end]
+		start = end
+	}
+	return parts
+}
+
+// coordinator drives one group's units through its transport's worker slots.
+type coordinator struct {
+	opts    Options
+	group   fleetGroup
+	mf      *manifest
+	work    chan Unit
+	results chan Result
+	byID    map[int]Unit
+}
+
+func logf(w io.Writer, format string, args ...interface{}) {
+	if w != nil {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+}
+
+func (c *coordinator) logf(format string, args ...interface{}) {
+	if c.group.name != "" {
+		format = "[" + c.group.name + "] " + format
+	}
+	logf(c.opts.Log, format, args...)
+}
+
+// run executes units across the group's worker slots and returns their
+// merged stats. The structure mirrors the pre-transport coordinator: a
+// buffered work channel (capacity len(units) can never block — a requeue
+// only happens after a worker drained a slot by taking the failed unit off
+// the channel), one results line per unit taken, retry accounting at the
+// receive side.
+func (c *coordinator) run(units []Unit) (engine.BatchStats, error) {
+	workers := c.group.workers
+	if workers < 1 {
+		workers = 1
+	}
+	c.work = make(chan Unit, len(units))
+	c.results = make(chan Result, workers)
+	c.byID = make(map[int]Unit, len(units))
+	c.logf("sweep: %d units over %d workers via %s", len(units), workers, c.group.transport.Name())
 	for _, u := range units {
 		c.byID[u.ID] = u
 		c.work <- u
@@ -109,18 +242,19 @@ func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(id int) {
+		go func(slot int) {
 			defer wg.Done()
-			c.workerLoop(id)
+			c.slotLoop(slot)
 		}(i)
 	}
 
+	var total engine.BatchStats
 	tries := make(map[int]int)
 	var firstErr error
 	for outstanding := len(units); outstanding > 0; {
 		res := <-c.results
 		if res.Err == "" {
-			if err := mf.record(res); err != nil && firstErr == nil {
+			if err := c.mf.record(res); err != nil && firstErr == nil {
 				firstErr = err
 			}
 			total.Merge(res.Stats)
@@ -128,7 +262,7 @@ func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
 			continue
 		}
 		tries[res.ID]++
-		if tries[res.ID] > opts.Retries {
+		if tries[res.ID] > c.opts.Retries {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("sweep: unit %d failed after %d attempts: %s", res.ID, tries[res.ID], res.Err)
 			}
@@ -144,140 +278,71 @@ func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
 	return total, firstErr
 }
 
-type coordinator struct {
-	opts    Options
-	work    chan Unit
-	results chan Result
-	byID    map[int]Unit
-}
-
-func (c *coordinator) logf(format string, args ...interface{}) {
-	if c.opts.Log != nil {
-		fmt.Fprintf(c.opts.Log, format+"\n", args...)
+// slotLoop owns one worker slot: it dials the group's transport, streams
+// units through the connection, and redials on transport failure. Every unit
+// taken off the work channel produces exactly one Result — that invariant is
+// what lets run count completions.
+func (c *coordinator) slotLoop(slot int) {
+	tcp, isTCP := c.group.transport.(*TCP)
+	// Pin this slot's preferred daemon so a fleet's slots spread over its
+	// addresses instead of all piling onto the first one; start advances
+	// after every broken connection so a slot whose daemon keeps dying
+	// migrates to its fleet mates instead of burning the retry budget
+	// against one corpse.
+	start := slot
+	dial := func() (Conn, error) {
+		if isTCP {
+			pinned := *tcp
+			pinned.Start = start
+			return pinned.Dial()
+		}
+		return c.group.transport.Dial()
 	}
-}
-
-// workerLoop owns one worker slot: it dials a worker (subprocess or
-// in-process), streams units through it, and redials on transport failure.
-// Every unit taken off the work channel produces exactly one Result — that
-// invariant is what lets Run count completions.
-func (c *coordinator) workerLoop(slot int) {
 	for {
-		conn, err := c.dial()
+		conn, err := dial()
 		if err != nil {
-			// Cannot spawn a worker: burn one unit per attempt so the retry
-			// budget, not this loop, decides when to give up.
+			// Cannot reach any worker: burn one unit per attempt so the
+			// retry budget, not this loop, decides when to give up.
 			u, ok := <-c.work
 			if !ok {
 				return
 			}
-			c.results <- Result{ID: u.ID, Err: fmt.Sprintf("spawn worker: %v", err)}
+			c.results <- Result{ID: u.ID, Err: fmt.Sprintf("dial worker: %v", err)}
 			continue
 		}
 		broken := false
 		for u := range c.work {
-			res, err := conn.roundTrip(u)
+			res, err := conn.RoundTrip(u)
 			if err != nil {
-				c.results <- Result{ID: u.ID, Err: fmt.Sprintf("worker %d: %v", slot, err)}
+				c.results <- Result{ID: u.ID, Err: fmt.Sprintf("worker slot %d: %v", slot, err)}
 				broken = true
 				break
 			}
 			c.results <- res
 		}
-		conn.close()
+		conn.Close()
 		if !broken {
 			return // work channel closed: the sweep is done
 		}
+		start++
 	}
 }
 
-// workerConn is one live worker, either transport.
-type workerConn struct {
-	enc     *json.Encoder
-	in      *bufio.Scanner
-	closeFn func()
+// wrapLog makes an arbitrary caller writer safe to share between
+// coordinators, transports and worker stderr copiers. Idempotent, so the
+// entry points (Run, RunFleets) can wrap before building transports and
+// runGroups can wrap defensively again.
+func wrapLog(w io.Writer) io.Writer {
+	if w == nil {
+		return nil
+	}
+	if _, ok := w.(*syncWriter); ok {
+		return w
+	}
+	return &syncWriter{w: w}
 }
 
-func (c *coordinator) dial() (*workerConn, error) {
-	if len(c.opts.Command) == 0 {
-		// In-process worker: ServeWorker on a goroutine, connected by pipes.
-		ur, uw := io.Pipe()
-		rr, rw := io.Pipe()
-		go func() {
-			err := ServeWorker(ur, rw)
-			rw.CloseWithError(err)
-			ur.CloseWithError(err)
-		}()
-		conn := &workerConn{enc: json.NewEncoder(uw)}
-		conn.in = newResultScanner(rr)
-		conn.closeFn = func() {
-			uw.Close()
-			rr.Close()
-		}
-		return conn, nil
-	}
-	cmd := exec.Command(c.opts.Command[0], c.opts.Command[1:]...)
-	cmd.Env = append(os.Environ(), c.opts.Env...)
-	if c.opts.Log != nil {
-		cmd.Stderr = c.opts.Log
-	} else {
-		cmd.Stderr = os.Stderr
-	}
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return nil, err
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		stdin.Close()
-		return nil, err
-	}
-	if err := cmd.Start(); err != nil {
-		stdin.Close()
-		stdout.Close()
-		return nil, err
-	}
-	conn := &workerConn{enc: json.NewEncoder(stdin)}
-	conn.in = newResultScanner(stdout)
-	conn.closeFn = func() {
-		stdin.Close()
-		cmd.Wait()
-	}
-	return conn, nil
-}
-
-func newResultScanner(r io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
-	return sc
-}
-
-// roundTrip sends one unit and reads its result. Any transport error —
-// including a died subprocess, which surfaces as EOF here — is returned so
-// the caller can fail the unit and redial.
-func (c *workerConn) roundTrip(u Unit) (Result, error) {
-	if err := c.enc.Encode(u); err != nil {
-		return Result{}, fmt.Errorf("send unit: %w", err)
-	}
-	if !c.in.Scan() {
-		if err := c.in.Err(); err != nil {
-			return Result{}, fmt.Errorf("read result: %w", err)
-		}
-		return Result{}, fmt.Errorf("worker closed stream mid-unit")
-	}
-	var res Result
-	if err := json.Unmarshal(c.in.Bytes(), &res); err != nil {
-		return Result{}, fmt.Errorf("malformed result line: %w", err)
-	}
-	if res.ID != u.ID {
-		return Result{}, fmt.Errorf("result for unit %d, expected %d", res.ID, u.ID)
-	}
-	return res, nil
-}
-
-func (c *workerConn) close() { c.closeFn() }
-
-// syncWriter serializes writes from the coordinator and the worker stderr
+// syncWriter serializes writes from the coordinators and the worker stderr
 // copiers onto one underlying writer.
 type syncWriter struct {
 	mu sync.Mutex

@@ -3,6 +3,7 @@ package sweep
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,7 +12,9 @@ import (
 	"testing"
 
 	"refereenet/internal/collide"
+	"refereenet/internal/corpus"
 	"refereenet/internal/engine"
+	"refereenet/internal/graph"
 
 	// Populate the protocol registry for in-process and re-exec'd workers.
 	_ "refereenet/internal/core"
@@ -306,6 +309,67 @@ func TestSplitGrayRanksCoverage(t *testing.T) {
 	}
 	if len(plan.Shards) != 2 {
 		t.Errorf("clamp: got %d shards, want 2", len(plan.Shards))
+	}
+}
+
+// A corpus sweep — split into record-range units, dispatched across workers,
+// checkpointed — must merge to the stats of one pass over the same graphs.
+func TestSplitCorpusCoverageAndSweep(t *testing.T) {
+	const n, records, units = 6, 100, 7
+	rng := rand.New(rand.NewSource(9))
+	limit := uint64(1) << uint(n*(n-1)/2)
+	masks := make([]uint64, records)
+	graphs := make([]*graph.Graph, records)
+	for i := range masks {
+		masks[i] = rng.Uint64() % limit
+		graphs[i] = graph.FromEdgeMask(n, masks[i])
+	}
+	path := filepath.Join(t.TempDir(), "sweep.corpus")
+	if err := corpus.WriteFile(path, n, masks); err != nil {
+		t.Fatal(err)
+	}
+
+	shard := engine.ShardSpec{Protocol: "hash16"}
+	plan, err := SplitCorpus(shard, path, n, records, units)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Shards) != units {
+		t.Fatalf("got %d shards, want %d", len(plan.Shards), units)
+	}
+	var covered uint64
+	prev := uint64(0)
+	for i, s := range plan.Shards {
+		if s.Source.Kind != "file" || s.Source.Path != path || s.Source.N != n {
+			t.Fatalf("shard %d names %+v", i, s.Source)
+		}
+		if s.Source.Lo != prev {
+			t.Fatalf("shard %d starts at %d, previous ended at %d", i, s.Source.Lo, prev)
+		}
+		covered += s.Source.Hi - s.Source.Lo
+		prev = s.Source.Hi
+	}
+	if covered != records || prev != records {
+		t.Fatalf("covered %d records ending at %d, want %d", covered, prev, records)
+	}
+
+	p, _ := engine.New("hash16", engine.Config{N: n})
+	want := engine.RunBatch(p, engine.NewSliceSource(graphs), engine.BatchOptions{Workers: 1})
+	mfPath := filepath.Join(t.TempDir(), "corpus.manifest")
+	got, err := Run(plan, Options{Workers: 3, Manifest: mfPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("corpus sweep stats %+v, want %+v", got, want)
+	}
+	// Checkpoint-resumable like everything else.
+	got, err = Run(plan, Options{Workers: 3, Manifest: mfPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("resumed corpus sweep stats %+v, want %+v", got, want)
 	}
 }
 

@@ -1,0 +1,343 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"refereenet/internal/engine"
+)
+
+// The coordinator's worker coupling is a Transport: something that can dial
+// a connection speaking the Unit/Result line protocol. Three implementations
+// cover the deployment spectrum —
+//
+//   - InProcess: ServeWorker on a goroutine behind in-memory pipes (tests,
+//     -inprocess debugging, benchmarks without fork noise);
+//   - Subprocess: one worker process per slot over stdin/stdout (the
+//     single-machine fleet, unchanged semantics from the pre-transport
+//     coordinator);
+//   - TCP: a long-lived `refereesim serve` daemon reached over the network,
+//     with a registry-fingerprint handshake and reconnect-with-backoff
+//     failover across a daemon address list (the cross-machine fleet).
+//
+// The coordinator treats all three identically: a dropped connection is the
+// death of the in-flight unit's worker, the unit goes back through the
+// retry/requeue path, and the slot redials. That mapping is what keeps any
+// sharded sweep byte-identical to the monolithic run regardless of which
+// transport carried the units.
+
+// Transport dials worker connections for coordinator slots. Implementations
+// must be safe for concurrent Dial calls: every slot of a fleet dials
+// through the same value.
+type Transport interface {
+	// Dial establishes one worker connection, ready for RoundTrip.
+	Dial() (Conn, error)
+	// Name describes the transport in coordinator logs.
+	Name() string
+}
+
+// Conn is one live worker stream. It is used by a single coordinator slot at
+// a time and need not be safe for concurrent use.
+type Conn interface {
+	// RoundTrip sends one unit and reads its result. Any transport error —
+	// a died subprocess or dropped TCP connection surfaces as EOF here — is
+	// returned so the caller can fail the unit and redial.
+	RoundTrip(u Unit) (Result, error)
+	// Close releases the connection (and reaps the subprocess, where there
+	// is one).
+	Close() error
+}
+
+// lineConn implements Conn over any newline-delimited JSON byte stream: it
+// is the shared round-trip engine of all three transports.
+type lineConn struct {
+	enc     *json.Encoder
+	in      *bufio.Scanner
+	closeFn func() error
+}
+
+func newLineConn(r io.Reader, w io.Writer) *lineConn {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return &lineConn{enc: json.NewEncoder(w), in: sc}
+}
+
+func (c *lineConn) RoundTrip(u Unit) (Result, error) {
+	if err := c.enc.Encode(u); err != nil {
+		return Result{}, fmt.Errorf("send unit: %w", err)
+	}
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return Result{}, fmt.Errorf("read result: %w", err)
+		}
+		return Result{}, fmt.Errorf("worker closed stream mid-unit")
+	}
+	var res Result
+	if err := json.Unmarshal(c.in.Bytes(), &res); err != nil {
+		return Result{}, fmt.Errorf("malformed result line: %w", err)
+	}
+	if res.ID != u.ID {
+		return Result{}, fmt.Errorf("result for unit %d, expected %d", res.ID, u.ID)
+	}
+	return res, nil
+}
+
+func (c *lineConn) Close() error {
+	if c.closeFn != nil {
+		return c.closeFn()
+	}
+	return nil
+}
+
+// InProcess runs workers as goroutines: ServeWorker behind in-memory pipes,
+// the same line protocol without process isolation.
+type InProcess struct{}
+
+// Name implements Transport.
+func (InProcess) Name() string { return "inprocess" }
+
+// Dial implements Transport.
+func (InProcess) Dial() (Conn, error) {
+	ur, uw := io.Pipe()
+	rr, rw := io.Pipe()
+	go func() {
+		err := ServeWorker(ur, rw)
+		rw.CloseWithError(err)
+		ur.CloseWithError(err)
+	}()
+	conn := newLineConn(rr, uw)
+	conn.closeFn = func() error {
+		uw.Close()
+		return rr.Close()
+	}
+	return conn, nil
+}
+
+// Subprocess spawns one worker process per connection, speaking the line
+// protocol on its stdin/stdout (refereesim uses [self, "sweep", "-worker"]).
+type Subprocess struct {
+	// Command is the worker argv; it must not be empty.
+	Command []string
+	// Env is appended to the inherited environment.
+	Env []string
+	// Stderr receives the worker's stderr; nil routes it to os.Stderr.
+	Stderr io.Writer
+}
+
+// Name implements Transport.
+func (s Subprocess) Name() string { return "subprocess " + s.Command[0] }
+
+// Dial implements Transport.
+func (s Subprocess) Dial() (Conn, error) {
+	cmd := exec.Command(s.Command[0], s.Command[1:]...)
+	cmd.Env = append(os.Environ(), s.Env...)
+	if s.Stderr != nil {
+		cmd.Stderr = s.Stderr
+	} else {
+		cmd.Stderr = os.Stderr
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		stdin.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		stdin.Close()
+		stdout.Close()
+		return nil, err
+	}
+	conn := newLineConn(stdout, stdin)
+	conn.closeFn = func() error {
+		stdin.Close()
+		return cmd.Wait()
+	}
+	return conn, nil
+}
+
+// TCP dials `refereesim serve` daemons. Each Dial walks the address list
+// round-robin from Start, with exponential backoff between full cycles, so a
+// killed daemon fails over to its fleet mates and a restarted one is picked
+// up on the next redial — connection loss maps onto the coordinator's
+// existing retry path instead of wedging a slot.
+type TCP struct {
+	// Addrs lists the daemon endpoints ("host:port"). Must not be empty.
+	Addrs []string
+	// Start indexes the address this slot prefers; slots of one fleet use
+	// distinct Starts so they spread across daemons.
+	Start int
+	// Cycles is how many full passes over Addrs to attempt before giving up
+	// (default 3).
+	Cycles int
+	// DialTimeout bounds one connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Backoff is the initial delay between passes, doubling per pass
+	// (default 100ms).
+	Backoff time.Duration
+	// Log, when non-nil, receives failover notices.
+	Log io.Writer
+}
+
+// Name implements Transport.
+func (t *TCP) Name() string { return fmt.Sprintf("tcp %v", t.Addrs) }
+
+// Dial implements Transport: connect, then handshake, verifying that the
+// daemon speaks this wire version and links the same registries.
+func (t *TCP) Dial() (Conn, error) {
+	cycles := t.Cycles
+	if cycles < 1 {
+		cycles = 3
+	}
+	timeout := t.DialTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	backoff := t.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for cycle := 0; cycle < cycles; cycle++ {
+		if cycle > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		for i := range t.Addrs {
+			addr := t.Addrs[(t.Start+i)%len(t.Addrs)]
+			conn, err := t.dialOne(addr, timeout)
+			if err == nil {
+				return conn, nil
+			}
+			lastErr = fmt.Errorf("dial %s: %w", addr, err)
+			if t.Log != nil {
+				fmt.Fprintf(t.Log, "sweep: %v\n", lastErr)
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+func (t *TCP) dialOne(addr string, timeout time.Duration) (Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn := newLineConn(nc, nc)
+	conn.closeFn = nc.Close
+	// Bound the handshake, not the sweep: a unit may legitimately run for
+	// minutes, so the deadline is lifted once the daemon has identified
+	// itself.
+	nc.SetDeadline(time.Now().Add(timeout))
+	if err := clientHandshake(conn); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	return conn, nil
+}
+
+// ProtocolVersion is the version of the sweep wire protocol — the handshake
+// plus Unit/Result framing documented in docs/sweep-protocol.md. It is bumped
+// on any incompatible change to the framing or the JSON field vocabulary, and
+// the handshake refuses a peer speaking a different version.
+const ProtocolVersion = 1
+
+// helloMagic opens every handshake line, so a sweep endpoint dialed by
+// something else (or a coordinator pointed at a non-sweep port) fails fast
+// with a clear error instead of a JSON parse failure mid-stream.
+const helloMagic = "refereenet-sweep"
+
+// hello is the handshake frame both sides exchange before any units flow.
+// The server echoes its own identity; Err carries a rejection reason back to
+// the client before the server closes.
+type hello struct {
+	Magic       string `json:"magic"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	Err         string `json:"err,omitempty"`
+}
+
+func localHello() hello {
+	return hello{
+		Magic:       helloMagic,
+		Version:     ProtocolVersion,
+		Fingerprint: engine.RegistryFingerprint(),
+	}
+}
+
+// checkPeer validates the peer's hello against ours. Mismatched registries
+// mean the two binaries would resolve the same ShardSpec differently — the
+// silent divergence the handshake exists to prevent.
+func (h hello) checkPeer(peer hello) error {
+	switch {
+	case peer.Magic != helloMagic:
+		return fmt.Errorf("peer is not a sweep endpoint (magic %q)", peer.Magic)
+	case peer.Version != h.Version:
+		return fmt.Errorf("peer speaks sweep protocol v%d, this binary v%d", peer.Version, h.Version)
+	case peer.Fingerprint != h.Fingerprint:
+		return fmt.Errorf("peer registry fingerprint %.12s… differs from ours %.12s… (stale binary?)",
+			peer.Fingerprint, h.Fingerprint)
+	}
+	return nil
+}
+
+// clientHandshake is the coordinator side: send our hello, read the
+// daemon's, and verify both directions agree.
+func clientHandshake(c *lineConn) error {
+	ours := localHello()
+	if err := c.enc.Encode(ours); err != nil {
+		return fmt.Errorf("handshake send: %w", err)
+	}
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return fmt.Errorf("handshake read: %w", err)
+		}
+		return fmt.Errorf("handshake read: connection closed")
+	}
+	var peer hello
+	if err := json.Unmarshal(c.in.Bytes(), &peer); err != nil {
+		return fmt.Errorf("handshake: malformed server hello: %w", err)
+	}
+	if peer.Err != "" {
+		return fmt.Errorf("handshake rejected by server: %s", peer.Err)
+	}
+	if err := ours.checkPeer(peer); err != nil {
+		return fmt.Errorf("handshake: %w", err)
+	}
+	return nil
+}
+
+// serverHandshake is the daemon side: read the coordinator's hello, reply
+// with ours (carrying the rejection reason on mismatch), and report whether
+// units may flow.
+func serverHandshake(c *lineConn) error {
+	ours := localHello()
+	if !c.in.Scan() {
+		if err := c.in.Err(); err != nil {
+			return fmt.Errorf("handshake read: %w", err)
+		}
+		return fmt.Errorf("handshake read: connection closed")
+	}
+	var peer hello
+	if err := json.Unmarshal(c.in.Bytes(), &peer); err != nil {
+		return fmt.Errorf("handshake: malformed client hello: %w", err)
+	}
+	reply := ours
+	mismatch := ours.checkPeer(peer)
+	if mismatch != nil {
+		reply.Err = mismatch.Error()
+	}
+	if err := c.enc.Encode(reply); err != nil {
+		return fmt.Errorf("handshake send: %w", err)
+	}
+	return mismatch
+}

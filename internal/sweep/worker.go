@@ -42,6 +42,14 @@ const maxLineBytes = 1 << 20
 func ServeWorker(r io.Reader, w io.Writer) error {
 	in := bufio.NewScanner(r)
 	in.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	return serveUnits(in, w)
+}
+
+// serveUnits is ServeWorker after the scanner is built — the TCP daemon path
+// enters here, reusing the handshake's scanner so a unit line the
+// coordinator pipelined right behind its hello is not lost in the scanner's
+// buffer.
+func serveUnits(in *bufio.Scanner, w io.Writer) error {
 	out := bufio.NewWriter(w)
 	for in.Scan() {
 		line := in.Bytes()
@@ -52,13 +60,7 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 		if err := json.Unmarshal(line, &u); err != nil {
 			return fmt.Errorf("sweep: malformed unit line: %w", err)
 		}
-		res := Result{ID: u.ID}
-		st, err := engine.ExecuteShard(u.Spec)
-		if err != nil {
-			res.Err = err.Error()
-		} else {
-			res.Stats = st
-		}
+		res := executeUnit(u)
 		buf, err := json.Marshal(res)
 		if err != nil {
 			return fmt.Errorf("sweep: encode result: %w", err)
@@ -72,4 +74,26 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 		}
 	}
 	return in.Err()
+}
+
+// executeUnit runs one unit through the engine, converting a panic (a corpus
+// file changed mid-stream, a protocol bug) into the unit's error Result: a
+// long-lived serve daemon must outlive any single poisoned unit, and the
+// coordinator's retry accounting — not a dead worker — should decide what a
+// repeated failure means.
+func executeUnit(u Unit) (res Result) {
+	res.ID = u.ID
+	defer func() {
+		if r := recover(); r != nil {
+			res.Stats = engine.BatchStats{}
+			res.Err = fmt.Sprintf("unit panicked: %v", r)
+		}
+	}()
+	st, err := engine.ExecuteShard(u.Spec)
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Stats = st
+	}
+	return res
 }
