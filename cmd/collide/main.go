@@ -7,6 +7,7 @@
 //	collide -n 6 -protocol degree -pred triangle
 //	collide -counts -n 6
 //	collide -counts -n 8 -big -ranks 0:134217728
+//	collide -counts -n 9 -big -ranks 34359738368:34493956096   # one fleet slice of the 2^36 space
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 	predName := flag.String("pred", "square", "predicate: square|triangle|diam3|connected")
 	counts := flag.Bool("counts", false, "print family counts instead of searching")
 	reconstruct := flag.Bool("reconstruct", false, "search for a same-family reconstruction collision instead of a decision collision")
-	big := flag.Bool("big", false, "allow n = 8 (2.7·10⁸ graphs: seconds for -counts, much longer for searches)")
+	big := flag.Bool("big", false, "allow n ≥ 8 (n=8: 2.7·10⁸ graphs, seconds for -counts; n=9: 6.9·10¹⁰, core-hours — use -ranks to take one machine's slice of a fleet split)")
 	ranks := flag.String("ranks", "", "with -counts: restrict to Gray-code ranks lo:hi of the size-n space; disjoint ranges counted on different machines merge by addition")
 	flag.Parse()
 
@@ -102,7 +103,7 @@ func countRanks(n int, ranks string) (collide.FamilyCounts, error) {
 	if err != nil {
 		return collide.FamilyCounts{}, fmt.Errorf("-ranks: %w", err)
 	}
-	return collide.CountRange(n, lo, hi), nil
+	return collide.CountRange(n, lo, hi)
 }
 
 func strawmanByName(name string) (collide.Strawman, bool) {

@@ -33,8 +33,10 @@
 // fleets (';'-separated) and failing over within a fleet (','-separated):
 //
 //	refereesim serve -listen :7171                 # on every worker machine
+//	refereesim serve -listen :7171 -parallel 8     # one big machine stands in for 8 workers
 //	refereesim sweep -protocol hash16 -n 8 -connect host1:7171,host2:7171
 //	refereesim sweep -protocol hash16 -n 8 -connect 'rack1:7171;rack2:7171' -manifest n8.manifest
+//	refereesim sweep -protocol oracle-conn -decide -n 9 -ranks 34359738368:34493956096 -connect host1:7171
 package main
 
 import (

@@ -19,6 +19,7 @@ import (
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":7171", "TCP address to accept sweep coordinators on (host:port; port 0 picks a free one)")
+	parallel := fs.Int("parallel", 1, "shared execution pool size: units from ALL accepted connections fan out over k pool workers (splittable units run k-way parallel), so one daemon stands in for k single-threaded ones; 1 executes each connection's units on its own goroutine")
 	verbose := fs.Bool("v", false, "log every connection to stderr")
 	fs.Parse(args)
 
@@ -28,15 +29,15 @@ func runServe(args []string) {
 	}
 	// The resolved address on stdout, flushed before serving, so scripts
 	// that started us with port 0 can scrape where to connect.
-	fmt.Printf("listening %s protocol=v%d registry=%.12s\n",
-		l.Addr(), sweep.ProtocolVersion, engine.RegistryFingerprint())
+	fmt.Printf("listening %s protocol=v%d registry=%.12s parallel=%d\n",
+		l.Addr(), sweep.ProtocolVersion, engine.RegistryFingerprint(), *parallel)
 	os.Stdout.Sync()
 
 	var logw io.Writer
 	if *verbose {
 		logw = os.Stderr
 	}
-	if err := sweep.Serve(l, sweep.ServeOptions{Log: logw}); err != nil {
+	if err := sweep.Serve(l, sweep.ServeOptions{Log: logw, Parallel: *parallel}); err != nil {
 		log.Fatal(err)
 	}
 }

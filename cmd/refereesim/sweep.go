@@ -31,7 +31,7 @@ func runSweep(args []string) {
 	decide := fs.Bool("decide", false, "run the referee's decision on every transcript and tally verdicts")
 	workers := fs.Int("workers", runtime.NumCPU(), "worker subprocesses")
 	units := fs.Int("units", 0, "work units to split the sweep into (0 = 4 per worker)")
-	ranks := fs.String("ranks", "", "Gray-code rank sub-range lo:hi (default: the whole 2^C(n,2) space); lets a fleet split n ≥ 9 sub-ranges across machines")
+	ranks := fs.String("ranks", "", "Gray-code rank sub-range lo:hi (default: the whole 2^C(n,2) space); lets a fleet split the 36-bit n = 9 space across machines")
 	connect := fs.String("connect", "", "drive remote `refereesim serve` daemons instead of subprocesses: fleets separated by ';', addresses by ',' (e.g. host1:7171,host1:7172;host2:7171); repeat an address for extra streams")
 	corpusPath := fs.String("corpus", "", "sweep a word-packed edge-mask corpus file (written by graphgen -emit) instead of the labelled-graph enumeration")
 	family := fs.String("gen", "", "sweep a generated family (gen.ByName name) instead of the labelled-graph enumeration")

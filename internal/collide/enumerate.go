@@ -15,14 +15,17 @@ import (
 )
 
 // MaxEnumerationN bounds exhaustive enumeration. With the zero-allocation
-// Gray-code engine (word-packed graph.Small, one edge toggle per step) the
-// 2.7·10⁸ graphs at n = 8 (C(8,2) = 28 edge bits) cost CPU only, so 8 is now
-// in budget for CountParallel — a sharded n = 8 count takes a couple of
-// seconds on a modern machine, ~128× the n = 7 work. Callers that sweep to
-// the ceiling should gate n = 8 behind an explicit opt-in (cmd/collide's
-// -big flag) or testing.Short() awareness; graph.Small itself supports
-// n ≤ 11, but C(9,2) = 36 edge bits (6.9·10¹⁰ graphs) is out of reach.
-const MaxEnumerationN = 8
+// Gray-code engine (word-packed graph.Small, one edge toggle per step) and
+// the transport plane's cross-machine sweeps, the ceiling is n = 9:
+// C(9,2) = 36 edge bits, 6.9·10¹⁰ graphs. That is NOT a single-invocation
+// workload — it is ~256× the n = 8 space (which itself takes seconds across
+// all CPUs), so full n = 9 passes are meant to run as rank-range slices
+// split over a fleet (`refereesim sweep -ranks` / `cmd/collide -ranks`) and
+// merged by addition. Callers that sweep to the ceiling must gate n ≥ 8
+// behind an explicit opt-in (cmd/collide's -big flag) or testing.Short()
+// awareness. graph.Small itself supports n ≤ 11, but C(10,2) = 45 edge bits
+// (3.5·10¹³ graphs) stays out of reach for now.
+const MaxEnumerationN = 9
 
 // EnumerateGraphs calls visit on every labelled graph with vertex set
 // {1..n}, in edge-mask order, stopping early if visit returns false.
@@ -78,28 +81,37 @@ func (fc *FamilyCounts) Merge(o FamilyCounts) {
 	fc.Connected += o.Connected
 }
 
-// Count computes all family counts for n ≤ MaxEnumerationN by exhaustive
+// Count computes all family counts for 1 ≤ n ≤ MaxEnumerationN by exhaustive
 // enumeration on the zero-allocation Gray-code engine: the graph is a
 // word-packed stack value, one edge toggles per step, and no heap allocation
-// happens anywhere in the loop (guarded by TestCountAllocFree).
+// happens anywhere in the loop (guarded by TestCountAllocFree). It panics
+// for n outside the enumeration range — the full-space range is always valid
+// for a valid n, so there is no rank input to fail on.
 func Count(n int) FamilyCounts {
-	total := uint(n * (n - 1) / 2)
-	return CountRange(n, 0, 1<<total)
-}
-
-// CountRange computes family counts over the Gray-code ranks [lo, hi) only —
-// the fleet-splitting form: disjoint ranges counted on different machines
-// Merge into the full-space counts Count reports. It panics for n or a range
-// outside the enumeration bounds.
-func CountRange(n int, lo, hi uint64) FamilyCounts {
 	if n < 1 || n > MaxEnumerationN {
 		panic(fmt.Sprintf("collide: n=%d outside enumeration range [1,%d]", n, MaxEnumerationN))
 	}
 	total := uint(n * (n - 1) / 2)
-	if hi > 1<<total || lo > hi {
-		panic(fmt.Sprintf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n))
+	fc, err := CountRange(n, 0, 1<<total)
+	if err != nil {
+		panic("collide: " + err.Error())
+	}
+	return fc
+}
+
+// CountRange computes family counts over the Gray-code ranks [lo, hi) only —
+// the fleet-splitting form: disjoint ranges counted on different machines
+// Merge into the full-space counts Count reports. Ranks arrive from CLI
+// flags and remote plans, so a malformed range (n or a bound outside the
+// enumeration space) is returned as an error rather than a panic.
+func CountRange(n int, lo, hi uint64) (FamilyCounts, error) {
+	if n < 1 || n > MaxEnumerationN {
+		return FamilyCounts{}, fmt.Errorf("collide: n=%d outside enumeration range [1,%d]", n, MaxEnumerationN)
+	}
+	if err := ValidateGrayRange(n, lo, hi); err != nil {
+		return FamilyCounts{}, err
 	}
 	fc := FamilyCounts{N: n}
 	countRange(&fc, n, lo, hi, n/2)
-	return fc
+	return fc, nil
 }

@@ -60,7 +60,7 @@ func TestGrayRangeShardsPartition(t *testing.T) {
 	seen := make([]bool, total)
 	bounds := []uint64{0, 17, 18, 500, total}
 	for i := 0; i+1 < len(bounds); i++ {
-		EnumerateGraphsGrayRange(n, bounds[i], bounds[i+1], func(mask uint64, g graph.Small) bool {
+		err := EnumerateGraphsGrayRange(n, bounds[i], bounds[i+1], func(mask uint64, g graph.Small) bool {
 			if seen[mask] {
 				t.Fatalf("mask %d visited by two shards", mask)
 			}
@@ -70,6 +70,9 @@ func TestGrayRangeShardsPartition(t *testing.T) {
 			}
 			return true
 		})
+		if err != nil {
+			t.Fatalf("shard [%d,%d): %v", bounds[i], bounds[i+1], err)
+		}
 	}
 	for mask, ok := range seen {
 		if !ok {
@@ -156,14 +159,25 @@ func TestCountRangeSlicesMergeToFullCount(t *testing.T) {
 		bounds := []uint64{0, 1, total / 3, total / 2, total - 2, total}
 		got := FamilyCounts{N: n}
 		for i := 0; i+1 < len(bounds); i++ {
-			got.Merge(CountRange(n, bounds[i], bounds[i+1]))
+			fc, err := CountRange(n, bounds[i], bounds[i+1])
+			if err != nil {
+				t.Fatalf("CountRange(%d, %d, %d): %v", n, bounds[i], bounds[i+1], err)
+			}
+			got.Merge(fc)
 		}
 		if got != want {
 			t.Errorf("n=%d: merged slices %+v, full count %+v", n, got, want)
 		}
 	}
 	// Merge order must not matter.
-	a, b := CountRange(4, 0, 10), CountRange(4, 10, 64)
+	a, err := CountRange(4, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CountRange(4, 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ab := FamilyCounts{N: 4}
 	ab.Merge(a)
 	ab.Merge(b)

@@ -6,10 +6,10 @@ import (
 	"refereenet/internal/graph"
 )
 
-// The n = 8 ceiling (raised from 7 once the Gray-code engine made the
-// 2.7·10⁸ graphs CPU-only): mechanics are checked cheaply on rank windows,
-// and the full sharded count — ~half a minute on one core, seconds on many —
-// runs only outside -short.
+// The n = 8 space (the ceiling until PR 5 raised it to 9): mechanics are
+// checked cheaply on rank windows, and the full sharded count — ~half a
+// minute on one core, seconds on many — runs only outside -short. n = 9 has
+// its own file (n9_test.go) with the 36-bit rank mechanics.
 
 // TestGrayRangeMechanicsN8 walks small windows of the n = 8 rank space,
 // including the wraparound-heavy tail, checking mask/graph agreement without
@@ -23,7 +23,7 @@ func TestGrayRangeMechanicsN8(t *testing.T) {
 	}
 	for _, w := range windows {
 		var visited uint64
-		EnumerateGraphsGrayRange(8, w[0], w[1], func(mask uint64, s graph.Small) bool {
+		err := EnumerateGraphsGrayRange(8, w[0], w[1], func(mask uint64, s graph.Small) bool {
 			rank := w[0] + visited
 			if want := rank ^ (rank >> 1); mask != want {
 				t.Fatalf("rank %d: mask %d, want gray %d", rank, mask, want)
@@ -34,6 +34,9 @@ func TestGrayRangeMechanicsN8(t *testing.T) {
 			visited++
 			return true
 		})
+		if err != nil {
+			t.Fatalf("window %v: %v", w, err)
+		}
 		if visited != w[1]-w[0] {
 			t.Fatalf("window %v visited %d graphs", w, visited)
 		}
@@ -41,13 +44,16 @@ func TestGrayRangeMechanicsN8(t *testing.T) {
 	// Disjoint shards must partition the windowed space exactly once.
 	seen := make(map[uint64]bool, 8192)
 	for _, b := range [][2]uint64{{0, 3000}, {3000, 8192}} {
-		EnumerateGraphsGrayRange(8, b[0], b[1], func(mask uint64, _ graph.Small) bool {
+		err := EnumerateGraphsGrayRange(8, b[0], b[1], func(mask uint64, _ graph.Small) bool {
 			if seen[mask] {
 				t.Fatalf("mask %d visited twice across shards", mask)
 			}
 			seen[mask] = true
 			return true
 		})
+		if err != nil {
+			t.Fatalf("shard %v: %v", b, err)
+		}
 	}
 	if len(seen) != 8192 {
 		t.Fatalf("shards covered %d masks, want 8192", len(seen))

@@ -10,10 +10,12 @@ import (
 // contiguous shards; each worker seeds its word-packed graph from gray(lo)
 // and toggles forward, so the parallel path is exactly as allocation-free
 // per graph as the sequential one. Shards are embarrassingly parallel and
-// merge by addition.
+// merge by addition. Note the scale at the ceiling: n = 9 is 6.9·10¹⁰
+// graphs — core-hours even sharded, which is why fleet runs slice the space
+// with CountRange instead of calling this.
 func CountParallel(n int) FamilyCounts {
-	if n > MaxEnumerationN {
-		panic("collide: n exceeds enumeration bound")
+	if n < 1 || n > MaxEnumerationN {
+		panic("collide: n outside enumeration range")
 	}
 	total := uint64(1) << uint(n*(n-1)/2)
 	workers := runtime.GOMAXPROCS(0)

@@ -18,18 +18,39 @@ func init() {
 	}
 	// The Gray-code enumeration as a plannable source: spec {kind: "gray",
 	// n, lo, hi} resolves to the rank range [lo, hi), with lo = hi = 0
-	// meaning the full space. Disjoint rank ranges cover disjoint graphs,
-	// which is what lets the sweep coordinator split one enumeration across
-	// processes and machines. A nonzero lo with hi = 0 is NOT defaulted —
-	// it falls through to the range validation and errors, so a mistyped
-	// hand-edited plan cannot silently cover [lo, full) and double-count.
+	// meaning the full space (see grayBounds for the defaulting rule).
+	// Disjoint rank ranges cover disjoint graphs, which is what lets the
+	// sweep coordinator split one enumeration across processes and machines.
 	engine.RegisterSource("gray", func(spec engine.SourceSpec) (engine.Source, error) {
-		hi := spec.Hi
-		if hi == 0 && spec.Lo == 0 && spec.N >= 1 && spec.N <= MaxEnumerationN {
-			hi = uint64(1) << uint(spec.N*(spec.N-1)/2)
-		}
-		return GraySourceForRange(spec.N, spec.Lo, hi)
+		lo, hi := grayBounds(spec)
+		return GraySourceForRange(spec.N, lo, hi)
 	})
+	// The matching splitter: a gray rank range cuts into contiguous
+	// sub-ranges covering exactly the same graphs, which is what lets a
+	// `serve -parallel` daemon fan ONE unit out over its shared worker pool
+	// (merged stats are byte-identical because BatchStats.Merge is exact).
+	// A malformed spec declines to split so resolution reports the error on
+	// the unsplit original.
+	engine.RegisterSourceSplitter("gray", func(spec engine.SourceSpec, parts int) ([]engine.SourceSpec, bool) {
+		lo, hi := grayBounds(spec)
+		if spec.N < 1 || ValidateGrayRange(spec.N, lo, hi) != nil {
+			return nil, false
+		}
+		return engine.SplitSourceRange(spec, lo, hi, parts)
+	})
+}
+
+// grayBounds resolves a gray spec's rank bounds, applying the lo = hi = 0 ⇒
+// full space default shared by the resolver and the splitter. A nonzero lo
+// with hi = 0 is NOT defaulted — it falls through to range validation and
+// errors, so a mistyped hand-edited plan cannot silently cover [lo, full)
+// and double-count.
+func grayBounds(spec engine.SourceSpec) (lo, hi uint64) {
+	lo, hi = spec.Lo, spec.Hi
+	if hi == 0 && lo == 0 && spec.N >= 1 && spec.N <= MaxEnumerationN {
+		hi = uint64(1) << uint(spec.N*(spec.N-1)/2)
+	}
+	return lo, hi
 }
 
 // NamedStrawman pairs a Strawman with its registry / flag name.

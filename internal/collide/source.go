@@ -31,7 +31,7 @@ func ParseRankRange(s string, n int) (lo, hi uint64, err error) {
 	if hi, err = strconv.ParseUint(parts[1], 10, 64); err != nil {
 		return 0, 0, fmt.Errorf("rank range hi: %v", err)
 	}
-	if lo > hi || hi > total {
+	if err := ValidateGrayRange(n, lo, hi); err != nil {
 		return 0, 0, fmt.Errorf("rank range [%d,%d) out of bounds for n=%d (space %d)", lo, hi, n, total)
 	}
 	return lo, hi, nil
@@ -77,9 +77,8 @@ func GraySourceForRange(n int, lo, hi uint64) (*GraySource, error) {
 	if n < 1 || n > MaxEnumerationN {
 		return nil, fmt.Errorf("collide: n=%d outside enumeration range [1,%d]", n, MaxEnumerationN)
 	}
-	total := uint(n * (n - 1) / 2)
-	if hi > 1<<total || lo > hi {
-		return nil, fmt.Errorf("collide: gray range [%d,%d) out of bounds for n=%d", lo, hi, n)
+	if err := ValidateGrayRange(n, lo, hi); err != nil {
+		return nil, err
 	}
 	s := &GraySource{n: n, next: lo, hi: hi}
 	edgePairs(n, &s.us, &s.vs)

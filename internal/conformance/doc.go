@@ -1,0 +1,14 @@
+// Package conformance holds the golden-transcript suite: a table-driven
+// test that runs EVERY registered protocol under EVERY named scheduler on a
+// fixed set of labelled graphs and compares the transcripts (plus decider
+// verdicts and reconstruction outcomes) against committed golden files in
+// testdata/. The fuzz and differential tests elsewhere sample the
+// protocol × scheduler space; this suite pins it exactly, so silent drift in
+// a protocol's encoding, a scheduler's delivery, or the registry lineup —
+// the kind of change that would make a new binary disagree with a deployed
+// fleet mid-sweep — fails loudly with a diff instead of surfacing as a
+// registry-fingerprint handshake rejection in production.
+//
+// The package intentionally contains no non-test code beyond this file: it
+// exists to link every registering package into one test binary.
+package conformance

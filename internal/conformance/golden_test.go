@@ -1,0 +1,257 @@
+package conformance
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"refereenet/internal/engine"
+	"refereenet/internal/graph"
+
+	// Every package that registers protocols, schedulers or source kinds
+	// must be linked here: the suite's coverage check fails on any protocol
+	// that registers without a golden entry (or vice versa).
+	_ "refereenet/internal/collide"
+	_ "refereenet/internal/core"
+	_ "refereenet/internal/sketch"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden.json from the current registry instead of comparing")
+
+// goldenSeed feeds protocols that use public randomness (sketch-conn). The
+// suite pins one seed; determinism ACROSS seeds is the fuzzer's job.
+const goldenSeed = 1009
+
+// goldenGraphs is the fixed labelled graph set. Explicit edge lists, not
+// generator calls: the suite must not move when a generator's drawing order
+// changes, only when a protocol or scheduler does.
+var goldenGraphs = []struct {
+	name  string
+	n     int
+	edges [][2]int
+}{
+	{"empty5", 5, nil},
+	{"complete5", 5, [][2]int{{1, 2}, {1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}, {3, 4}, {3, 5}, {4, 5}}},
+	{"path5", 5, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}}},
+	{"cycle6", 6, [][2]int{{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 1}}},
+	{"star6", 6, [][2]int{{1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}}},
+	{"k33", 6, [][2]int{{1, 4}, {1, 5}, {1, 6}, {2, 4}, {2, 5}, {2, 6}, {3, 4}, {3, 5}, {3, 6}}},
+	{"twocomp7", 7, [][2]int{{1, 2}, {1, 3}, {2, 3}, {4, 5}, {5, 6}, {6, 7}, {7, 4}}},
+	{"tangle7", 7, [][2]int{{1, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {2, 7}, {3, 6}}},
+}
+
+func buildGraph(n int, edges [][2]int) *graph.Graph {
+	g := graph.New(n)
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// protocolGolden is one protocol's committed behavior on the graph set.
+type protocolGolden struct {
+	// Transcripts maps graph name → per-node messages as '0'/'1' strings
+	// (node v's message at index v-1) — the exact Γˡ(G) vector.
+	Transcripts map[string][]string `json:"transcripts"`
+	// Decisions maps graph name → "accept" | "reject" | "err:<message>" for
+	// protocols whose referee decides.
+	Decisions map[string]string `json:"decisions,omitempty"`
+	// Reconstructions maps graph name → "exact" | "differs" |
+	// "err:<message>" for protocols whose referee reconstructs.
+	Reconstructions map[string]string `json:"reconstructions,omitempty"`
+}
+
+// goldenFile is the committed testdata/golden.json shape.
+type goldenFile struct {
+	Comment   string                     `json:"comment"`
+	Seed      int64                      `json:"seed"`
+	Graphs    map[string]string          `json:"graphs"`
+	Protocols map[string]*protocolGolden `json:"protocols"`
+}
+
+const goldenPath = "testdata/golden.json"
+
+// computeGolden runs the full protocol × graph table with the serial
+// scheduler — the reference execution the golden file pins.
+func computeGolden(t *testing.T) *goldenFile {
+	t.Helper()
+	out := &goldenFile{
+		Comment:   fmt.Sprintf("golden transcripts for every registered protocol on the fixed graph set; regenerate with: go test ./internal/conformance -run TestGoldenTranscripts -update (seed %d)", goldenSeed),
+		Seed:      goldenSeed,
+		Graphs:    map[string]string{},
+		Protocols: map[string]*protocolGolden{},
+	}
+	for _, gg := range goldenGraphs {
+		g := buildGraph(gg.n, gg.edges)
+		out.Graphs[gg.name] = fmt.Sprintf("n=%d mask=%#x", gg.n, g.EdgeMask())
+	}
+	for _, name := range engine.Names() {
+		pg := &protocolGolden{Transcripts: map[string][]string{}}
+		out.Protocols[name] = pg
+		for _, gg := range goldenGraphs {
+			g := buildGraph(gg.n, gg.edges)
+			p, ok := engine.New(name, engine.Config{N: gg.n, Seed: goldenSeed})
+			if !ok {
+				t.Fatalf("protocol %q vanished from the registry mid-run", name)
+			}
+			tr := engine.LocalPhase(g, p, engine.Serial{})
+			msgs := make([]string, len(tr.Messages))
+			for i, m := range tr.Messages {
+				msgs[i] = m.String()
+			}
+			pg.Transcripts[gg.name] = msgs
+
+			if d, ok := p.(engine.Decider); ok {
+				if pg.Decisions == nil {
+					pg.Decisions = map[string]string{}
+				}
+				ans, err := d.Decide(gg.n, tr.Messages)
+				switch {
+				case err != nil:
+					pg.Decisions[gg.name] = "err:" + err.Error()
+				case ans:
+					pg.Decisions[gg.name] = "accept"
+				default:
+					pg.Decisions[gg.name] = "reject"
+				}
+			}
+			if r, ok := p.(engine.Reconstructor); ok {
+				if pg.Reconstructions == nil {
+					pg.Reconstructions = map[string]string{}
+				}
+				h, err := r.Reconstruct(gg.n, tr.Messages)
+				switch {
+				case err != nil:
+					pg.Reconstructions[gg.name] = "err:" + err.Error()
+				case h.Equal(g):
+					pg.Reconstructions[gg.name] = "exact"
+				default:
+					pg.Reconstructions[gg.name] = "differs"
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenTranscripts is the conformance suite's core: the live registry's
+// behavior on the fixed graph set must match testdata/golden.json exactly —
+// same protocol lineup, same per-node messages, same referee outcomes.
+func TestGoldenTranscripts(t *testing.T) {
+	got := computeGolden(t)
+
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %d protocols × %d graphs", goldenPath, len(got.Protocols), len(got.Graphs))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if want.Seed != goldenSeed {
+		t.Fatalf("golden was generated with seed %d, suite uses %d; regenerate with -update", want.Seed, goldenSeed)
+	}
+
+	// The registry lineup itself is under test: a protocol registered
+	// without a golden entry — or a golden entry whose protocol vanished —
+	// is exactly the silent-drift case the suite exists to catch.
+	for _, name := range sortedKeys(want.Protocols) {
+		if _, ok := got.Protocols[name]; !ok {
+			t.Errorf("golden lists protocol %q but the registry does not have it (removed? renamed? regenerate with -update)", name)
+		}
+	}
+	for _, name := range sortedKeys(got.Protocols) {
+		if _, ok := want.Protocols[name]; !ok {
+			t.Errorf("registry has protocol %q with no golden entry (new protocol? commit its golden with -update)", name)
+		}
+	}
+	for gname, desc := range got.Graphs {
+		if want.Graphs[gname] != desc {
+			t.Errorf("graph %q is %s, golden says %q (the fixed graph set must not move silently)", gname, desc, want.Graphs[gname])
+		}
+	}
+
+	for name, wantPG := range want.Protocols {
+		gotPG, ok := got.Protocols[name]
+		if !ok {
+			continue // reported above
+		}
+		for _, gg := range goldenGraphs {
+			wantMsgs, gotMsgs := wantPG.Transcripts[gg.name], gotPG.Transcripts[gg.name]
+			if len(wantMsgs) != len(gotMsgs) {
+				t.Errorf("%s on %s: %d messages, golden has %d", name, gg.name, len(gotMsgs), len(wantMsgs))
+				continue
+			}
+			for v := range wantMsgs {
+				if wantMsgs[v] != gotMsgs[v] {
+					t.Errorf("%s on %s: node %d sends %q, golden says %q", name, gg.name, v+1, gotMsgs[v], wantMsgs[v])
+				}
+			}
+			if w, g := wantPG.Decisions[gg.name], gotPG.Decisions[gg.name]; w != g {
+				t.Errorf("%s on %s: referee decides %q, golden says %q", name, gg.name, g, w)
+			}
+			if w, g := wantPG.Reconstructions[gg.name], gotPG.Reconstructions[gg.name]; w != g {
+				t.Errorf("%s on %s: reconstruction %q, golden says %q", name, gg.name, g, w)
+			}
+		}
+	}
+}
+
+// TestGoldenSchedulerIndependence closes the scheduler half of the matrix:
+// every named scheduler must produce the exact serial transcript for every
+// protocol on every golden graph. Combined with TestGoldenTranscripts this
+// pins protocol × scheduler × graph to the committed goldens.
+func TestGoldenSchedulerIndependence(t *testing.T) {
+	scheds := engine.SchedulerNames()
+	if len(scheds) < 2 {
+		t.Fatalf("scheduler lineup collapsed to %v", scheds)
+	}
+	for _, name := range engine.Names() {
+		for _, gg := range goldenGraphs {
+			g := buildGraph(gg.n, gg.edges)
+			p, _ := engine.New(name, engine.Config{N: gg.n, Seed: goldenSeed})
+			ref := engine.LocalPhase(g, p, engine.Serial{})
+			for _, sname := range scheds {
+				s, ok := engine.SchedulerByName(sname)
+				if !ok {
+					t.Fatalf("scheduler %q not resolvable", sname)
+				}
+				tr := engine.LocalPhase(g, p, s)
+				for v := range ref.Messages {
+					if !tr.Messages[v].Equal(ref.Messages[v]) {
+						t.Errorf("%s on %s under %s: node %d sends %s, serial sends %s",
+							name, gg.name, sname, v+1, tr.Messages[v], ref.Messages[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[string]*protocolGolden) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

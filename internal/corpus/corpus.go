@@ -141,13 +141,22 @@ func readHeader(r io.Reader) (Header, error) {
 // between consecutive records — the corpus counterpart of collide.GraySource
 // (and, like it, engine.Volatile: the yielded pointer is only valid until
 // the next Next call). The underlying file closes at stream exhaustion.
+//
+// A file that goes bad underneath the sweep — truncated mid-record, or a
+// record carrying edge bits beyond C(n,2) — ends the stream early and parks
+// the failure in Err (the engine.Erring contract): engine.ExecuteShard
+// checks it after the run and fails the shard, which the wire layer maps
+// onto Result.Err. Nothing on this path panics, so a malicious or corrupt
+// corpus can cost a unit but never a daemon.
 type FileSource struct {
 	f    *os.File
 	br   *bufio.Reader
 	n    int
+	pos  uint64 // absolute record index of the next read, for error messages
 	left uint64
 	mask uint64
 	g    *graph.Graph
+	err  error
 }
 
 // NewFileSource opens a corpus and positions at record lo. lo = hi = 0 means
@@ -171,28 +180,31 @@ func NewFileSource(path string, lo, hi uint64) (*FileSource, error) {
 		f.Close()
 		return nil, fmt.Errorf("corpus: seek %s: %w", path, err)
 	}
-	return &FileSource{f: f, br: bufio.NewReaderSize(f, 64*1024), n: h.N, left: hi - lo}, nil
+	return &FileSource{f: f, br: bufio.NewReaderSize(f, 64*1024), n: h.N, pos: lo, left: hi - lo}, nil
 }
 
 // N returns the vertex count of the corpus's graphs.
 func (s *FileSource) N() int { return s.n }
 
 // Next implements engine.Source. The returned graph is reused by the next
-// call and must not be retained. A short or corrupt file surfaces as a
-// panic: the header was validated against the file size at open, so hitting
-// EOF mid-record means the file changed underneath the sweep.
+// call and must not be retained. A short or corrupt file — the header was
+// validated against the file size at open, so hitting EOF mid-record means
+// the file changed underneath the sweep — ends the stream and sets Err.
 func (s *FileSource) Next() *graph.Graph {
-	if s.left == 0 {
+	if s.left == 0 || s.err != nil {
 		s.Close()
 		return nil
 	}
 	var rec [8]byte
 	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
-		s.Close() // don't leak the fd into the recover() above us
-		panic(fmt.Sprintf("corpus: file truncated mid-stream: %v", err))
+		return s.fail(fmt.Errorf("corpus: file truncated at record %d: %w", s.pos, err))
 	}
-	s.left--
 	mask := binary.LittleEndian.Uint64(rec[:])
+	if edgeBits := uint(s.n * (s.n - 1) / 2); edgeBits < 64 && mask>>edgeBits != 0 {
+		return s.fail(fmt.Errorf("corpus: record %d mask %#x has bits beyond C(%d,2)=%d", s.pos, mask, s.n, edgeBits))
+	}
+	s.pos++
+	s.left--
 	if s.g == nil {
 		s.mask = mask
 		s.g = graph.FromEdgeMask(s.n, mask)
@@ -205,6 +217,20 @@ func (s *FileSource) Next() *graph.Graph {
 	s.mask = mask
 	return s.g
 }
+
+// fail ends the stream with err: the fd is released immediately (a poisoned
+// unit in a long-lived daemon must not leak a descriptor) and subsequent
+// Next calls return nil without touching the file again.
+func (s *FileSource) fail(err error) *graph.Graph {
+	s.err = err
+	s.left = 0
+	s.Close()
+	return nil
+}
+
+// Err implements engine.Erring: it reports why the stream ended, nil after a
+// clean exhaustion.
+func (s *FileSource) Err() error { return s.err }
 
 // Mask returns the edge mask of the graph most recently yielded by Next.
 func (s *FileSource) Mask() uint64 { return s.mask }
@@ -239,5 +265,21 @@ func init() {
 			return nil, fmt.Errorf("corpus: spec names n=%d, %s holds n=%d graphs", spec.N, spec.Path, src.N())
 		}
 		return src, nil
+	})
+	// The matching splitter for `serve -parallel`: an explicit record range
+	// cuts into contiguous sub-ranges, each opening its own fd and seeking
+	// to its own offset, so the sub-shards stream concurrently. The whole-
+	// corpus default (Lo = Hi = 0) declines — splitting it would need the
+	// header's Count, and reading files inside a splitter (which must never
+	// fail) is the wrong place for I/O; plan-built specs always carry
+	// explicit ranges anyway.
+	engine.RegisterSourceSplitter("file", func(spec engine.SourceSpec, parts int) ([]engine.SourceSpec, bool) {
+		if spec.Lo == 0 && spec.Hi == 0 {
+			return nil, false
+		}
+		if spec.Lo > spec.Hi {
+			return nil, false
+		}
+		return engine.SplitSourceRange(spec, spec.Lo, spec.Hi, parts)
 	})
 }

@@ -10,7 +10,10 @@ import (
 	"refereenet/internal/engine"
 	"refereenet/internal/graph"
 
-	// Protocols for the execute-stage round trip through the "file" kind.
+	// Protocols for the execute-stage round trip through the "file" kind,
+	// and the "gray" source kind (plus the strawmen) for the n = 9
+	// corpus↔rank-range cross-check.
+	_ "refereenet/internal/collide"
 	_ "refereenet/internal/core"
 )
 
@@ -171,5 +174,105 @@ func TestWriteRejectsBadInput(t *testing.T) {
 	// A mask with bits beyond C(n,2) would silently drop edges on read.
 	if err := WriteFile(filepath.Join(dir, "wide.corpus"), 4, []uint64{1 << 6}); err == nil {
 		t.Error("mask wider than C(4,2)=6 bits accepted")
+	}
+}
+
+// A file that goes bad UNDERNEATH an open stream — truncated after the
+// header was validated, or carrying a record with edge bits beyond C(n,2) —
+// must end the stream with Err set, not panic, and the spec layer must turn
+// that into a shard error the wire maps onto Result.Err.
+func TestFileSourceFailsInBandNotByPanic(t *testing.T) {
+	const n = 5
+	masks := randomMasks(n, 40, 9)
+
+	// Truncation after open: shrink the file once the source holds its fd.
+	path := writeTestCorpus(t, n, masks)
+	src, err := NewFileSource(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(len(Magic)+16+8*5)); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for g := src.Next(); g != nil; g = src.Next() {
+		count++
+	}
+	if src.Err() == nil {
+		t.Fatalf("stream over a truncated file drained %d records with no error", count)
+	}
+	if !strings.Contains(src.Err().Error(), "truncated") {
+		t.Errorf("unexpected truncation error: %v", src.Err())
+	}
+	if g := src.Next(); g != nil {
+		t.Error("failed stream yielded another graph")
+	}
+
+	// A record with bits beyond C(5,2)=10: patch one record in place.
+	path = writeTestCorpus(t, n, masks)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-8*20+7] = 0xFF // high byte of record 20's little-endian word
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err = NewFileSource(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	for g := src.Next(); g != nil; g = src.Next() {
+		count++
+	}
+	if count != 20 {
+		t.Errorf("stream yielded %d records before the poisoned one, want 20", count)
+	}
+	if src.Err() == nil || !strings.Contains(src.Err().Error(), "beyond C(5,2)") {
+		t.Errorf("poisoned record produced err %v", src.Err())
+	}
+
+	// The spec layer: ExecuteShard must fail the shard (engine.Erring), so a
+	// serve daemon answers Result.Err instead of merging partial stats.
+	if _, err := engine.ExecuteShard(engine.ShardSpec{
+		Protocol: "degeneracy",
+		Config:   engine.Config{N: n},
+		Source:   engine.SourceSpec{Kind: "file", Path: path, N: n},
+	}); err == nil {
+		t.Error("ExecuteShard merged a poisoned corpus without error")
+	}
+}
+
+// The n = 9 cross-check the 36-bit plane needs: a corpus of masks drawn from
+// a high Gray-rank window must execute through the "file" kind exactly like
+// the "gray" kind over the same window — corpora and rank ranges stay
+// interchangeable below the spec layer at the new width.
+func TestFileKindMatchesGrayKindAtN9(t *testing.T) {
+	const n = 9
+	lo := uint64(1)<<35 - 500
+	hi := lo + 1500
+	masks := make([]uint64, 0, hi-lo)
+	for rank := lo; rank < hi; rank++ {
+		masks = append(masks, rank^(rank>>1))
+	}
+	path := writeTestCorpus(t, n, masks)
+
+	want, err := engine.ExecuteShard(engine.ShardSpec{
+		Protocol: "hash16",
+		Source:   engine.SourceSpec{Kind: "gray", N: n, Lo: lo, Hi: hi},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := engine.ExecuteShard(engine.ShardSpec{
+		Protocol: "hash16",
+		Source:   engine.SourceSpec{Kind: "file", Path: path, N: n},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("n=9 file-kind stats %+v, gray-kind stats %+v", got, want)
 	}
 }

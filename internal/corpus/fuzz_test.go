@@ -1,0 +1,87 @@
+package corpus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// rawCorpus hand-assembles corpus bytes without Write's validation — the
+// fuzz seeds need files Write would refuse to produce.
+func rawCorpus(magic string, version, n uint32, count uint64, masks ...uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(magic)
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], version)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], n)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:], count)
+	buf.Write(scratch[:])
+	for _, m := range masks {
+		binary.LittleEndian.PutUint64(scratch[:], m)
+		buf.Write(scratch[:])
+	}
+	return buf.Bytes()
+}
+
+// FuzzCorpusFile throws arbitrary bytes at the corpus parse-and-stream path:
+// malformed headers, truncated records, wrong-n headers and records with
+// edge bits beyond C(n,2) must all surface as errors — any panic fails the
+// fuzz outright, which is the whole assertion. This mirrors the PR 4
+// guarantee on the wire path (a poisoned unit becomes Result.Err, never a
+// dead daemon): since PR 5 the stream itself never panics either, so the
+// guarantee no longer leans on recover().
+func FuzzCorpusFile(f *testing.F) {
+	// A well-formed corpus, and each way a file can lie about itself.
+	f.Add(rawCorpus(Magic, Version, 5, 3, 0, 1023, 512))
+	f.Add(rawCorpus(Magic, Version, 5, 3, 0, 1023))        // count promises a record the file lacks
+	f.Add(rawCorpus(Magic, Version, 5, 2, 1<<10, 1))       // record with bits beyond C(5,2)=10
+	f.Add(rawCorpus(Magic, Version, 5, 1, ^uint64(0)))     // all 64 bits set
+	f.Add(rawCorpus("RNCORPSE", Version, 5, 1, 0))         // bad magic
+	f.Add(rawCorpus(Magic, Version+1, 5, 1, 0))            // future version
+	f.Add(rawCorpus(Magic, Version, 0, 1, 0))              // n = 0
+	f.Add(rawCorpus(Magic, Version, MaxN+1, 1, 0))         // n past the word-packed cap
+	f.Add(rawCorpus(Magic, Version, 9, 2, 1<<36-1, 1<<35)) // n = 9: 36-bit masks are legal
+	f.Add(rawCorpus(Magic, Version, 9, 1, 1<<36))          // n = 9 mask one bit too wide
+	f.Add(rawCorpus(Magic, Version, 5, ^uint64(0)>>1, 0))  // absurd count vs file size
+	f.Add([]byte{})                                        // empty file
+	f.Add([]byte(Magic))                                   // header cut mid-field
+	f.Add(bytes.Repeat([]byte{0xFF}, headerSize+24))       // noise
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.corpus")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadHeader(path)
+		if err != nil {
+			// Rejected at parse — the correct outcome for malformed input.
+			// (Reaching here without panicking IS the pass.)
+			return
+		}
+		// The header checked out against the file size, so the stream must
+		// either drain exactly Count records or stop early with Err set —
+		// never panic, never yield graphs past a failure.
+		src, err := NewFileSource(path, 0, 0)
+		if err != nil {
+			return
+		}
+		defer src.Close()
+		var drained uint64
+		for g := src.Next(); g != nil; g = src.Next() {
+			if g.N() != h.N {
+				t.Fatalf("record %d yielded an n=%d graph from an n=%d corpus", drained, g.N(), h.N)
+			}
+			drained++
+		}
+		if src.Err() == nil && drained != h.Count {
+			t.Fatalf("clean stream drained %d records, header promises %d", drained, h.Count)
+		}
+		if src.Err() != nil && drained >= h.Count {
+			t.Fatalf("stream failed (%v) but still yielded all %d records", src.Err(), drained)
+		}
+	})
+}

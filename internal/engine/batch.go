@@ -26,6 +26,15 @@ type Volatile interface {
 	Volatile() bool
 }
 
+// Erring is implemented by sources that can fail mid-stream — a disk corpus
+// truncated or corrupted underneath the sweep. Source.Next has no error
+// channel, so such sources end the stream (return nil) and park the failure
+// here; ExecuteShard checks it after the run and fails the shard, which the
+// wire layer maps onto Result.Err. Err returns nil after a clean exhaustion.
+type Erring interface {
+	Err() error
+}
+
 // SliceSource streams a pre-built corpus. Reset rewinds it, so one corpus
 // can feed many runs (the batch benchmarks rely on this for steady-state
 // measurements).

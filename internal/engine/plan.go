@@ -131,6 +131,111 @@ func SourceKinds() []string {
 	return kinds
 }
 
+// SourceSplitter cuts a SourceSpec into disjoint sub-specs whose union is
+// exactly the original stream — the hook that lets an executor parallelize
+// INSIDE one shard (`refereesim serve -parallel`). Returning ok = false
+// declines: the spec is unsplittable (a seeded generator stream whose
+// per-shard seeds would change the stats) or malformed (resolution will
+// produce the error, where it can be reported). Splitters must never panic
+// and must preserve merge-exactness: executing the sub-specs and merging
+// their BatchStats must be byte-identical to executing the original.
+type SourceSplitter func(spec SourceSpec, parts int) (subs []SourceSpec, ok bool)
+
+var splitterRegistry struct {
+	sync.Mutex
+	byKind map[string]SourceSplitter
+}
+
+// RegisterSourceSplitter adds a splitter for a source kind. Like the other
+// registries it panics on empty or duplicate kinds: registrations happen in
+// package init functions. Kinds without a splitter simply run unsplit.
+func RegisterSourceSplitter(kind string, split SourceSplitter) {
+	if kind == "" || split == nil {
+		panic("engine: RegisterSourceSplitter requires a kind and a splitter")
+	}
+	splitterRegistry.Lock()
+	defer splitterRegistry.Unlock()
+	if splitterRegistry.byKind == nil {
+		splitterRegistry.byKind = make(map[string]SourceSplitter)
+	}
+	if _, dup := splitterRegistry.byKind[kind]; dup {
+		panic(fmt.Sprintf("engine: source splitter %q registered twice", kind))
+	}
+	splitterRegistry.byKind[kind] = split
+}
+
+// SplitShard cuts one shard spec into at most parts sub-shards covering the
+// same stream, by splitting its source through the kind's registered
+// splitter. Specs whose kind has no splitter, that decline to split, or with
+// parts < 2 come back as a one-element slice holding the original — callers
+// can always execute whatever SplitShard returns and merge.
+func SplitShard(spec ShardSpec, parts int) []ShardSpec {
+	if parts < 2 {
+		return []ShardSpec{spec}
+	}
+	splitterRegistry.Lock()
+	split, ok := splitterRegistry.byKind[spec.Source.Kind]
+	splitterRegistry.Unlock()
+	if !ok {
+		return []ShardSpec{spec}
+	}
+	subs, ok := split(spec.Source, parts)
+	if !ok || len(subs) == 0 {
+		return []ShardSpec{spec}
+	}
+	out := make([]ShardSpec, len(subs))
+	for i, src := range subs {
+		out[i] = spec
+		out[i].Source = src
+	}
+	return out
+}
+
+// SplitSourceRange cuts spec's rank bounds [lo, hi) into at most parts
+// sub-specs differing only in Lo and Hi — the shared shape of every
+// range-backed splitter ("gray", "file"), so their chunking cannot drift
+// apart. It declines (ok = false) when the range yields fewer than two
+// chunks, leaving the caller's spec to run unsplit.
+func SplitSourceRange(spec SourceSpec, lo, hi uint64, parts int) ([]SourceSpec, bool) {
+	ranges := SplitRange(lo, hi, parts)
+	if len(ranges) < 2 {
+		return nil, false
+	}
+	subs := make([]SourceSpec, len(ranges))
+	for i, r := range ranges {
+		subs[i] = spec
+		subs[i].Lo, subs[i].Hi = r[0], r[1]
+	}
+	return subs, true
+}
+
+// SplitRange cuts [lo, hi) into at most units contiguous chunks: floor-sized,
+// with the last chunk absorbing the remainder, and the chunk count clamped to
+// the range size so no chunk is empty. This exact shape is load-bearing — the
+// sweep planner's emitted bounds land in plan fingerprints, so changing the
+// distribution would strand every existing manifest. At the n = 9 ceiling
+// ranges span [0, 2^36); all arithmetic here is uint64 and overflow-free for
+// any bounds below 2^63.
+func SplitRange(lo, hi uint64, units int) [][2]uint64 {
+	total := hi - lo
+	if units < 1 {
+		units = 1
+	}
+	if uint64(units) > total {
+		units = int(total)
+	}
+	if total == 0 {
+		return nil
+	}
+	chunk := total / uint64(units)
+	out := make([][2]uint64, units)
+	for i := range out {
+		out[i] = [2]uint64{lo + uint64(i)*chunk, lo + uint64(i+1)*chunk}
+	}
+	out[units-1][1] = hi
+	return out
+}
+
 // ExecuteShard is the execute stage: it resolves a ShardSpec's protocol,
 // scheduler and source against the registries and streams the source through
 // a one-shot Batch on the calling goroutine (process-level parallelism is
@@ -158,11 +263,21 @@ func ExecuteShard(spec ShardSpec) (BatchStats, error) {
 	}
 	if c, ok := src.(io.Closer); ok {
 		// Closeable sources (the disk corpus) self-close at exhaustion, but
-		// a panic mid-stream unwinds through here — and in a long-lived
-		// serve daemon that converts panics into unit errors, leaking one
-		// descriptor per poisoned unit would eventually starve every sweep
-		// the daemon serves. Close is idempotent for such sources.
+		// a protocol panic mid-stream unwinds through here — and in a
+		// long-lived serve daemon that converts panics into unit errors,
+		// leaking one descriptor per poisoned unit would eventually starve
+		// every sweep the daemon serves. Close is idempotent for such
+		// sources.
 		defer c.Close()
 	}
-	return RunBatch(p, src, opts), nil
+	st := RunBatch(p, src, opts)
+	if e, ok := src.(Erring); ok {
+		// A source that died mid-stream (truncated corpus, corrupt record)
+		// ends the stream early instead of panicking; its stats are partial
+		// and must not merge into anyone's totals.
+		if err := e.Err(); err != nil {
+			return BatchStats{}, err
+		}
+	}
+	return st, nil
 }

@@ -257,3 +257,175 @@ func TestExecuteShardSchedulerIndependent(t *testing.T) {
 		}
 	}
 }
+
+// Shard specs carry 36-bit Gray ranks once n = 9 sweeps are planned; the
+// JSON layer must round-trip them exactly (they are far below the 2^53
+// float hazard, but the test pins the full uint64 path end to end) and the
+// plan fingerprint must be sensitive to every rank bit.
+func TestShardSpec36BitRanksRoundTripAndFingerprint(t *testing.T) {
+	spec := engine.ShardSpec{
+		Protocol: "hash16",
+		Source:   engine.SourceSpec{Kind: "gray", N: 9, Lo: 1<<36 - 12345, Hi: 1 << 36},
+	}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got engine.ShardSpec
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != spec {
+		t.Fatalf("36-bit spec round trip: got %+v, want %+v", got, spec)
+	}
+
+	plan := engine.Plan{Shards: []engine.ShardSpec{spec}}
+	fp1, err := plan.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Shards[0].Source.Lo++ // one rank off — a different sweep
+	fp2, err := plan.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 == fp2 {
+		t.Error("plan fingerprint ignored a 36-bit rank change")
+	}
+}
+
+// SplitRange must partition [lo, hi) exactly: contiguous, non-empty chunks
+// whose union is the input — including 36-bit ranges, word-edge boundaries
+// and the lo = hi degenerate case. This is the arithmetic both the sweep
+// planner and the serve -parallel executor stand on.
+func TestSplitRangePartition(t *testing.T) {
+	check := func(lo, hi uint64, units int) {
+		t.Helper()
+		chunks := engine.SplitRange(lo, hi, units)
+		if lo == hi {
+			if chunks != nil {
+				t.Fatalf("SplitRange(%d, %d, %d) = %v, want nil for the empty range", lo, hi, units, chunks)
+			}
+			return
+		}
+		if len(chunks) == 0 {
+			t.Fatalf("SplitRange(%d, %d, %d) returned no chunks for a non-empty range", lo, hi, units)
+		}
+		wantUnits := units
+		if wantUnits < 1 {
+			wantUnits = 1
+		}
+		if uint64(wantUnits) > hi-lo {
+			wantUnits = int(hi - lo)
+		}
+		if len(chunks) != wantUnits {
+			t.Fatalf("SplitRange(%d, %d, %d) emitted %d chunks, want %d", lo, hi, units, len(chunks), wantUnits)
+		}
+		if chunks[0][0] != lo || chunks[len(chunks)-1][1] != hi {
+			t.Fatalf("SplitRange(%d, %d, %d) covers [%d, %d)", lo, hi, units, chunks[0][0], chunks[len(chunks)-1][1])
+		}
+		for i, c := range chunks {
+			if c[0] >= c[1] {
+				t.Fatalf("chunk %d of SplitRange(%d, %d, %d) is empty or inverted: %v", i, lo, hi, units, c)
+			}
+			if i > 0 && chunks[i-1][1] != c[0] {
+				t.Fatalf("chunks %d and %d of SplitRange(%d, %d, %d) leave a gap or overlap: %v then %v",
+					i-1, i, lo, hi, units, chunks[i-1], c)
+			}
+		}
+	}
+
+	// The deliberate boundary cases: the full 36-bit space, windows
+	// straddling the 2^32 word edge, degenerate and tiny ranges, more units
+	// than ranks.
+	check(0, 1<<36, 256)
+	check(0, 1<<36, 1)
+	check(1<<32-3, 1<<32+3, 4)
+	check(1<<36-17, 1<<36, 64)
+	check(5, 5, 3)         // lo = hi
+	check(1<<36, 1<<36, 1) // lo = hi at the top of the space
+	check(0, 1, 10)
+	check(7, 10, 100)
+
+	// And the property pass: random 36-bit ranges and unit counts.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		lo := rng.Uint64() & (1<<36 - 1)
+		hi := lo + rng.Uint64()&(1<<36-1)
+		if hi > 1<<36 {
+			hi = 1 << 36
+		}
+		check(lo, hi, rng.Intn(300))
+	}
+}
+
+// SplitShard on a splittable source must cover exactly the original stream:
+// resolving every sub-spec and concatenating the graphs equals resolving the
+// unsplit spec. Unsplittable kinds must come back whole.
+func TestSplitShardCoversOriginalStream(t *testing.T) {
+	spec := engine.ShardSpec{
+		Protocol: "hash16",
+		Source:   engine.SourceSpec{Kind: "gray", N: 5, Lo: 3, Hi: 1000},
+	}
+	masks := func(specs []engine.ShardSpec) []uint64 {
+		var out []uint64
+		for _, s := range specs {
+			src, err := engine.ResolveSource(s.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, ok := src.(interface{ Mask() uint64 })
+			if !ok {
+				t.Fatal("gray source lost its Mask accessor")
+			}
+			for g := src.Next(); g != nil; g = src.Next() {
+				out = append(out, m.Mask())
+			}
+		}
+		return out
+	}
+	want := masks([]engine.ShardSpec{spec})
+	for _, parts := range []int{2, 3, 7, 64} {
+		subs := engine.SplitShard(spec, parts)
+		if len(subs) != parts {
+			t.Fatalf("SplitShard(parts=%d) emitted %d sub-shards", parts, len(subs))
+		}
+		for _, s := range subs {
+			if s.Protocol != spec.Protocol {
+				t.Fatalf("sub-shard lost the protocol: %+v", s)
+			}
+		}
+		if got := masks(subs); len(got) != len(want) {
+			t.Fatalf("parts=%d: sub-shards yielded %d graphs, want %d", parts, len(got), len(want))
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("parts=%d: graph %d has mask %d, want %d", parts, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	// Unsplittable shapes come back as the original, whole.
+	for _, whole := range []engine.ShardSpec{
+		{Protocol: "forest", Source: engine.SourceSpec{Kind: "family", Family: "tree", N: 20, Seed: 3, Count: 10}},
+		{Protocol: "hash16", Source: engine.SourceSpec{Kind: "no-such-kind"}},
+		spec, // parts < 2
+	} {
+		parts := 4
+		if whole == spec {
+			parts = 1
+		}
+		subs := engine.SplitShard(whole, parts)
+		if len(subs) != 1 || subs[0] != whole {
+			t.Errorf("SplitShard(%+v, %d) = %+v, want the unsplit original", whole, parts, subs)
+		}
+	}
+
+	// A malformed gray range declines to split, so the resolution error is
+	// reported once, on the original.
+	bad := engine.ShardSpec{Protocol: "hash16", Source: engine.SourceSpec{Kind: "gray", N: 5, Lo: 9, Hi: 4}}
+	if subs := engine.SplitShard(bad, 4); len(subs) != 1 || subs[0] != bad {
+		t.Errorf("malformed spec split into %+v, want the unsplit original", subs)
+	}
+}

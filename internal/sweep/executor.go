@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"refereenet/internal/engine"
+)
+
+// Executor is the shared execution pool behind `refereesim serve -parallel`:
+// a fixed set of worker goroutines that every accepted connection's units
+// drain through. A unit whose source kind has a registered splitter
+// (engine.SplitShard — "gray" rank ranges, explicit "file" record ranges) is
+// cut into up to `workers` sub-shards that execute concurrently on the pool
+// and merge; unsplittable units occupy one pool slot. EVERY execution —
+// split or not — goes through the pool, so total concurrent shard
+// executions across all connections never exceed the pool size: one big
+// machine stands in for k single-threaded daemons without k processes, and
+// without oversubscription when more than k coordinators dial in.
+//
+// Merged results are byte-identical to single-threaded execution:
+// sub-shards cover disjoint slices of exactly the unit's stream, and
+// engine.BatchStats.Merge is exact integer arithmetic (commutative and
+// associative), so completion order cannot change the totals.
+type Executor struct {
+	workers int
+	tasks   chan execTask
+	wg      sync.WaitGroup
+}
+
+// execTask is one sub-shard on the pool: execute spec, send the outcome.
+// abandon is the task's unit-level kill switch — set after any sibling
+// sub-shard fails, because the unit is then doomed to Result.Err and will be
+// retried whole, so finishing its remaining sub-shards would only hold pool
+// slots hostage against every other connection's units.
+type execTask struct {
+	spec    engine.ShardSpec
+	out     chan<- execOutcome
+	abandon *atomic.Bool
+}
+
+type execOutcome struct {
+	stats engine.BatchStats
+	err   error
+}
+
+// errAbandoned marks sub-shards skipped because a sibling already failed;
+// the drain loop never reports it over the sibling's real error.
+var errAbandoned = errors.New("sweep: sub-shard abandoned after a sibling failed")
+
+// NewExecutor starts a pool of workers goroutines (minimum 1). Close it to
+// release them.
+func NewExecutor(workers int) *Executor {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Executor{workers: workers, tasks: make(chan execTask)}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for t := range e.tasks {
+				if t.abandon.Load() {
+					t.out <- execOutcome{err: errAbandoned}
+					continue
+				}
+				st, err := executeSpec(t.spec)
+				if err != nil {
+					t.abandon.Store(true)
+				}
+				t.out <- execOutcome{stats: st, err: err}
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Close stops the pool's goroutines. In-flight sub-shards finish; Execute
+// must not be called afterwards.
+func (e *Executor) Close() {
+	close(e.tasks)
+	e.wg.Wait()
+}
+
+// Execute runs one unit over the pool and returns its Result — the same
+// contract as the single-threaded executeUnit, concurrency aside. Execute is
+// safe to call from any number of connection goroutines at once: sub-shard
+// submission interleaves fairly on the shared task channel (pool workers
+// never submit, so submission always drains). If any sub-shard fails, the
+// unit fails — partial stats must never merge into a coordinator's totals —
+// and its remaining sub-shards are abandoned rather than executed, so a
+// doomed unit cannot starve the other connections' work.
+func (e *Executor) Execute(u Unit) Result {
+	parts := engine.SplitShard(u.Spec, e.workers)
+	out := make(chan execOutcome, len(parts))
+	var abandon atomic.Bool
+	go func() {
+		for _, spec := range parts {
+			if abandon.Load() {
+				out <- execOutcome{err: errAbandoned}
+				continue
+			}
+			e.tasks <- execTask{spec: spec, out: out, abandon: &abandon}
+		}
+	}()
+	var total engine.BatchStats
+	var firstErr error
+	for range parts {
+		o := <-out
+		if o.err != nil {
+			// The first REAL error names the failure; abandonment notices
+			// may arrive in any order relative to it and never displace it.
+			if firstErr == nil || (errors.Is(firstErr, errAbandoned) && !errors.Is(o.err, errAbandoned)) {
+				firstErr = o.err
+			}
+			continue
+		}
+		total.Merge(o.stats)
+	}
+	if firstErr != nil {
+		return unitResult(u.ID, engine.BatchStats{}, firstErr)
+	}
+	return unitResult(u.ID, total, nil)
+}
+
+// executeSpec is one shard through the engine with the daemon's panic
+// guarantee: a poisoned spec (a protocol bug, a corpus that lies about
+// itself) becomes an error, never a dead worker goroutine.
+func executeSpec(spec engine.ShardSpec) (st engine.BatchStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			st = engine.BatchStats{}
+			err = fmt.Errorf("unit panicked: %v", r)
+		}
+	}()
+	return engine.ExecuteShard(spec)
+}
+
+// unitResult folds an execution outcome into the wire Result shape.
+func unitResult(id int, st engine.BatchStats, err error) Result {
+	res := Result{ID: id}
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Stats = st
+	}
+	return res
+}

@@ -18,6 +18,14 @@ type ServeOptions struct {
 	// complete the handshake before it is dropped (default 10s) — an
 	// accidental connection from a port scanner must not pin a goroutine.
 	HandshakeTimeout time.Duration
+	// Parallel, when ≥ 2, executes units over a shared Parallel-worker
+	// Executor pool instead of single-threaded on each connection's
+	// goroutine: splittable units (gray rank ranges, file record ranges)
+	// fan out across the pool, and the pool is shared by every accepted
+	// connection, so the daemon's total execution concurrency is bounded by
+	// Parallel no matter how many coordinators dial in. ≤ 1 keeps the
+	// original one-unit-one-thread behavior.
+	Parallel int
 }
 
 // Serve runs the `refereesim serve` worker daemon: it accepts coordinator
@@ -26,11 +34,15 @@ type ServeOptions struct {
 // or a different wire version is turned away with a reason), then ServeWorker
 // over the connection until the coordinator hangs up. One daemon therefore
 // multiplexes any number of concurrent coordinator slots; a sweep that wants
-// two streams into one machine simply dials it twice.
+// two streams into one machine simply dials it twice — or, with
+// ServeOptions.Parallel, a single stream's units fan out over the daemon's
+// shared executor pool.
 //
 // Serve returns nil when l is closed (the clean shutdown path) and the
 // accept error otherwise. In-flight connections are not interrupted by
-// shutdown: their goroutines finish serving and exit on their own EOF.
+// shutdown: their goroutines finish serving and exit on their own EOF (the
+// shared executor pool, when there is one, is released only after the last
+// of them drains).
 func Serve(l net.Listener, opts ServeOptions) error {
 	var mu sync.Mutex
 	logf := func(format string, args ...interface{}) {
@@ -44,6 +56,23 @@ func Serve(l net.Listener, opts ServeOptions) error {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	exec := executeUnit
+	var pool *Executor
+	var conns sync.WaitGroup
+	if opts.Parallel > 1 {
+		pool = NewExecutor(opts.Parallel)
+		exec = pool.Execute
+		// The pool must outlive every connection that can still submit to
+		// it, and Serve must not block shutdown on a slow coordinator — so
+		// the close happens off to the side, after the last connection
+		// goroutine drains.
+		defer func() {
+			go func() {
+				conns.Wait()
+				pool.Close()
+			}()
+		}()
+	}
 	for {
 		nc, err := l.Accept()
 		if err != nil {
@@ -52,7 +81,9 @@ func Serve(l net.Listener, opts ServeOptions) error {
 			}
 			return fmt.Errorf("sweep: accept: %w", err)
 		}
+		conns.Add(1)
 		go func() {
+			defer conns.Done()
 			defer nc.Close()
 			addr := nc.RemoteAddr()
 			conn := newLineConn(nc, nc)
@@ -63,7 +94,7 @@ func Serve(l net.Listener, opts ServeOptions) error {
 			}
 			nc.SetDeadline(time.Time{})
 			logf("serve: %s connected", addr)
-			if err := serveUnits(conn.in, nc); err != nil {
+			if err := serveUnits(conn.in, nc, exec); err != nil {
 				logf("serve: %s: %v", addr, err)
 				return
 			}

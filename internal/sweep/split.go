@@ -6,43 +6,25 @@ import (
 	"refereenet/internal/engine"
 )
 
-// splitRange cuts [lo, hi) into at most units contiguous chunks: floor-sized,
-// with the last chunk absorbing the remainder, and the chunk count clamped to
-// the range size so no chunk is empty. This exact shape is load-bearing — the
-// emitted bounds land in plan fingerprints, so changing the distribution
-// would strand every existing manifest.
-func splitRange(lo, hi uint64, units int) [][2]uint64 {
-	total := hi - lo
-	if units < 1 {
-		units = 1
-	}
-	if uint64(units) > total {
-		units = int(total)
-	}
-	if total == 0 {
-		return nil
-	}
-	chunk := total / uint64(units)
-	out := make([][2]uint64, units)
-	for i := range out {
-		out[i] = [2]uint64{lo + uint64(i)*chunk, lo + uint64(i+1)*chunk}
-	}
-	out[units-1][1] = hi
-	return out
-}
+// The range-chunking arithmetic lives in engine.SplitRange: its exact shape
+// is load-bearing (the emitted bounds land in plan fingerprints, so changing
+// the distribution would strand every existing manifest), and the
+// `serve -parallel` executor reuses the same helper to cut a single unit
+// into pool sub-shards.
 
 // SplitGrayRanks is the plan stage for enumeration sweeps: it covers the
 // Gray-code ranks [lo, hi) of the n-vertex labelled-graph space with units
 // contiguous shard specs of near-equal size. Disjoint rank ranges enumerate
 // disjoint graphs, so executing the shards anywhere and merging their stats
-// equals one monolithic run over [lo, hi) — and a fleet splits n ≥ 9
-// sub-ranges across machines by giving each coordinator its own [lo, hi).
+// equals one monolithic run over [lo, hi) — and a fleet splits the n = 9
+// space's 36-bit sub-ranges across machines by giving each coordinator its
+// own [lo, hi).
 func SplitGrayRanks(shard engine.ShardSpec, n int, lo, hi uint64, units int) (engine.Plan, error) {
 	if hi < lo {
 		return engine.Plan{}, fmt.Errorf("sweep: rank range [%d,%d) is inverted", lo, hi)
 	}
 	var plan engine.Plan
-	for _, r := range splitRange(lo, hi, units) {
+	for _, r := range engine.SplitRange(lo, hi, units) {
 		s := shard
 		// A fresh SourceSpec, not a patched copy: stale family/seed fields
 		// from a reused template must not leak into the plan (they would
@@ -64,7 +46,7 @@ func SplitCorpus(shard engine.ShardSpec, path string, n int, count uint64, units
 		return engine.Plan{}, fmt.Errorf("sweep: corpus plan needs a path")
 	}
 	var plan engine.Plan
-	for _, r := range splitRange(0, count, units) {
+	for _, r := range engine.SplitRange(0, count, units) {
 		s := shard
 		s.Source = engine.SourceSpec{Kind: "file", Path: path, N: n, Lo: r[0], Hi: r[1]}
 		plan.Shards = append(plan.Shards, s)

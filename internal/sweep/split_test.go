@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"refereenet/internal/engine"
+)
+
+// The planner's partition contract at the n = 9 width: the shards of
+// SplitGrayRanks and SplitCorpus must cover [lo, hi) EXACTLY — contiguous,
+// no overlap, no gap, no empty unit — for any bounds in the 36-bit space,
+// including unit boundaries falling on 2^32 word edges and the degenerate
+// lo = hi range. A violation here double-counts or silently skips graphs on
+// a fleet run, which no downstream check would catch.
+
+// checkGrayPartition asserts plan's shards partition [lo, hi) exactly.
+func checkGrayPartition(t *testing.T, plan engine.Plan, n int, lo, hi uint64, units int) {
+	t.Helper()
+	if lo == hi {
+		if len(plan.Shards) != 0 {
+			t.Fatalf("empty range [%d,%d) planned %d shards", lo, hi, len(plan.Shards))
+		}
+		return
+	}
+	if len(plan.Shards) == 0 {
+		t.Fatalf("range [%d,%d) planned no shards", lo, hi)
+	}
+	if uint64(len(plan.Shards)) > hi-lo || len(plan.Shards) > maxInt(units, 1) {
+		t.Fatalf("range [%d,%d) split %d ways planned %d shards", lo, hi, units, len(plan.Shards))
+	}
+	prev := lo
+	for i, s := range plan.Shards {
+		src := s.Source
+		if src.N != n {
+			t.Fatalf("shard %d carries n=%d, want %d", i, src.N, n)
+		}
+		if src.Lo != prev {
+			t.Fatalf("shard %d starts at %d, want %d (gap or overlap)", i, src.Lo, prev)
+		}
+		if src.Hi <= src.Lo {
+			t.Fatalf("shard %d is empty or inverted: [%d,%d)", i, src.Lo, src.Hi)
+		}
+		prev = src.Hi
+	}
+	if prev != hi {
+		t.Fatalf("shards end at %d, want %d", prev, hi)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestSplitGrayRanksPartitions36BitSpace(t *testing.T) {
+	shard := engine.ShardSpec{Protocol: "hash16"}
+	const space = uint64(1) << 36
+
+	cases := []struct {
+		lo, hi uint64
+		units  int
+	}{
+		{0, space, 256},           // the full n = 9 space, fleet-sized
+		{0, space, 1},             // one monolithic unit
+		{1<<32 - 3, 1<<32 + 3, 4}, // unit boundaries straddling the word edge
+		{1<<32 - 1, 1 << 32, 16},  // single-rank window at the edge
+		{space - 1000, space, 7},  // the tail
+		{17, 17, 5},               // lo = hi, mid-space
+		{space, space, 3},         // lo = hi at the top
+		{0, 5, 100},               // more units than ranks
+	}
+	for _, c := range cases {
+		plan, err := SplitGrayRanks(shard, 9, c.lo, c.hi, c.units)
+		if err != nil {
+			t.Fatalf("SplitGrayRanks(9, %d, %d, %d): %v", c.lo, c.hi, c.units, err)
+		}
+		checkGrayPartition(t, plan, 9, c.lo, c.hi, c.units)
+	}
+
+	// Property pass: random 36-bit windows, random unit counts.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		lo := rng.Uint64() % (space + 1)
+		hi := lo + rng.Uint64()%(space-lo+1)
+		units := rng.Intn(512)
+		plan, err := SplitGrayRanks(shard, 9, lo, hi, units)
+		if err != nil {
+			t.Fatalf("SplitGrayRanks(9, %d, %d, %d): %v", lo, hi, units, err)
+		}
+		checkGrayPartition(t, plan, 9, lo, hi, units)
+	}
+
+	// Inverted ranges must be refused at the plan stage.
+	if _, err := SplitGrayRanks(shard, 9, 10, 3, 4); err == nil {
+		t.Error("inverted range planned without error")
+	}
+}
+
+func TestSplitCorpusPartitionsRecordSpace(t *testing.T) {
+	shard := engine.ShardSpec{Protocol: "hash16"}
+	rng := rand.New(rand.NewSource(43))
+	counts := []uint64{0, 1, 7, 1 << 20, 1<<36 - 1, 1 << 36}
+	for trial := 0; trial < 100; trial++ {
+		counts = append(counts, rng.Uint64()%(1<<36))
+	}
+	for _, count := range counts {
+		units := rng.Intn(300)
+		plan, err := SplitCorpus(shard, "/tmp/some.corpus", 9, count, units)
+		if err != nil {
+			t.Fatalf("SplitCorpus(count=%d, units=%d): %v", count, units, err)
+		}
+		if count == 0 {
+			if len(plan.Shards) != 0 {
+				t.Fatalf("empty corpus planned %d shards", len(plan.Shards))
+			}
+			continue
+		}
+		if len(plan.Shards) == 0 {
+			t.Fatalf("corpus of %d records planned no shards", count)
+		}
+		prev := uint64(0)
+		for i, s := range plan.Shards {
+			if s.Source.Kind != "file" || s.Source.Path != "/tmp/some.corpus" || s.Source.N != 9 {
+				t.Fatalf("shard %d lost its source identity: %+v", i, s.Source)
+			}
+			if s.Source.Lo != prev || s.Source.Hi <= s.Source.Lo {
+				t.Fatalf("shard %d covers [%d,%d), want to start at %d", i, s.Source.Lo, s.Source.Hi, prev)
+			}
+			prev = s.Source.Hi
+		}
+		if prev != count {
+			t.Fatalf("corpus shards end at %d, want %d", prev, count)
+		}
+	}
+}

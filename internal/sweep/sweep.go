@@ -17,6 +17,10 @@
 // `refereesim sweep -worker` mode), or TCP connections to long-lived
 // `refereesim serve` daemons (Options.Dial), guarded by a handshake that
 // rejects a worker binary with a different wire version or registry lineup.
+// A daemon may additionally execute its units over a shared k-worker pool
+// (ServeOptions.Parallel, executor.go), splitting range-shaped sources
+// k ways via engine.SplitShard — invisible to the coordinator, since merged
+// stats are byte-identical to single-threaded execution.
 // A dropped connection is the death of the in-flight unit's worker: the unit
 // is retried (on a redialed connection, failing over across daemon addresses
 // with backoff); completed units are checkpointed to a resumable manifest

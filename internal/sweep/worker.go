@@ -42,14 +42,15 @@ const maxLineBytes = 1 << 20
 func ServeWorker(r io.Reader, w io.Writer) error {
 	in := bufio.NewScanner(r)
 	in.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
-	return serveUnits(in, w)
+	return serveUnits(in, w, executeUnit)
 }
 
 // serveUnits is ServeWorker after the scanner is built — the TCP daemon path
 // enters here, reusing the handshake's scanner so a unit line the
 // coordinator pipelined right behind its hello is not lost in the scanner's
-// buffer.
-func serveUnits(in *bufio.Scanner, w io.Writer) error {
+// buffer. exec executes each unit: executeUnit for single-threaded workers,
+// a shared Executor's Execute for `serve -parallel` daemons.
+func serveUnits(in *bufio.Scanner, w io.Writer, exec func(Unit) Result) error {
 	out := bufio.NewWriter(w)
 	for in.Scan() {
 		line := in.Bytes()
@@ -60,7 +61,7 @@ func serveUnits(in *bufio.Scanner, w io.Writer) error {
 		if err := json.Unmarshal(line, &u); err != nil {
 			return fmt.Errorf("sweep: malformed unit line: %w", err)
 		}
-		res := executeUnit(u)
+		res := exec(u)
 		buf, err := json.Marshal(res)
 		if err != nil {
 			return fmt.Errorf("sweep: encode result: %w", err)
@@ -76,24 +77,12 @@ func serveUnits(in *bufio.Scanner, w io.Writer) error {
 	return in.Err()
 }
 
-// executeUnit runs one unit through the engine, converting a panic (a corpus
-// file changed mid-stream, a protocol bug) into the unit's error Result: a
-// long-lived serve daemon must outlive any single poisoned unit, and the
-// coordinator's retry accounting — not a dead worker — should decide what a
-// repeated failure means.
-func executeUnit(u Unit) (res Result) {
-	res.ID = u.ID
-	defer func() {
-		if r := recover(); r != nil {
-			res.Stats = engine.BatchStats{}
-			res.Err = fmt.Sprintf("unit panicked: %v", r)
-		}
-	}()
-	st, err := engine.ExecuteShard(u.Spec)
-	if err != nil {
-		res.Err = err.Error()
-	} else {
-		res.Stats = st
-	}
-	return res
+// executeUnit runs one unit through the engine on the calling goroutine,
+// converting a panic (a protocol bug, a spec that lies about itself) into
+// the unit's error Result: a long-lived serve daemon must outlive any single
+// poisoned unit, and the coordinator's retry accounting — not a dead worker —
+// should decide what a repeated failure means.
+func executeUnit(u Unit) Result {
+	st, err := executeSpec(u.Spec)
+	return unitResult(u.ID, st, err)
 }
