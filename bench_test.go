@@ -230,12 +230,12 @@ func BenchmarkSweepLocal(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				st, err := sweep.Run(plan, sweep.Options{Workers: workers})
+				rep, err := sweep.Run(plan, sweep.Options{Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if st.Graphs != 1<<15 {
-					b.Fatalf("swept %d graphs", st.Graphs)
+				if rep.Stats.Graphs != 1<<15 {
+					b.Fatalf("swept %d graphs", rep.Stats.Graphs)
 				}
 			}
 		})
@@ -267,12 +267,12 @@ func BenchmarkSweepTCP(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				st, err := sweep.Run(plan, sweep.Options{Dial: addrs})
+				rep, err := sweep.Run(plan, sweep.Options{Dial: addrs})
 				if err != nil {
 					b.Fatal(err)
 				}
-				if st.Graphs != 1<<15 {
-					b.Fatalf("swept %d graphs", st.Graphs)
+				if rep.Stats.Graphs != 1<<15 {
+					b.Fatalf("swept %d graphs", rep.Stats.Graphs)
 				}
 			}
 		})

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"refereenet/internal/engine"
 	"refereenet/internal/sweep"
@@ -37,7 +40,15 @@ func runServe(args []string) {
 	if *verbose {
 		logw = os.Stderr
 	}
-	if err := sweep.Serve(l, sweep.ServeOptions{Log: logw, Parallel: *parallel}); err != nil {
+	// SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish and
+	// flush every in-flight unit, then exit 0 — so restarting a fleet daemon
+	// costs the coordinators a retry, never a half-computed unit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := sweep.Serve(l, sweep.ServeOptions{Log: logw, Parallel: *parallel, Context: ctx}); err != nil {
 		log.Fatal(err)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("serve: drained cleanly after signal")
 	}
 }

@@ -39,6 +39,11 @@ func runSweep(args []string) {
 	p := fs.Float64("p", 0.2, "edge probability for gnp-style families in -gen mode")
 	manifest := fs.String("manifest", "", "checkpoint manifest path; rerunning with the same plan and manifest resumes instead of restarting")
 	retries := fs.Int("retries", 1, "re-dispatches per failed unit before the sweep fails")
+	unitTimeout := fs.Duration("unit-timeout", 0, "per-unit deadline: a round-trip exceeding it counts as a failure and the hung connection is abandoned (0 = no deadline)")
+	hedge := fs.Duration("hedge", 0, "speculatively re-issue a unit still in flight after this delay; first result wins (0 = no hedging)")
+	breakerK := fs.Int("breaker", 0, "consecutive failures that quarantine a daemon address (0 = default 5, negative disables the circuit breaker)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long a quarantined address stays skipped before a half-open probe (0 = default 500ms)")
+	chaosSpec := fs.String("chaos", "", "inject deterministic faults into the transport: key=value pairs, e.g. seed=7,drop=0.05,hang=0.02,hangfor=3s,corrupt=0.01 (keys: seed, drop, lose, hang, delay, corrupt, dialfail, hangfor, delayfor)")
 	dumpPlan := fs.Bool("dump-plan", false, "print the plan JSON and exit without executing")
 	verbose := fs.Bool("v", false, "log coordinator progress to stderr")
 	inProcess := fs.Bool("inprocess", false, "run workers as goroutines instead of subprocesses (debugging)")
@@ -132,9 +137,21 @@ func runSweep(args []string) {
 	}
 
 	opts := sweep.Options{
-		Workers:  *workers,
-		Retries:  *retries,
-		Manifest: *manifest,
+		Workers:          *workers,
+		Retries:          *retries,
+		Manifest:         *manifest,
+		UnitTimeout:      *unitTimeout,
+		Hedge:            *hedge,
+		Seed:             *seed,
+		BreakerThreshold: *breakerK,
+		BreakerCooldown:  *breakerCooldown,
+	}
+	if *chaosSpec != "" {
+		chaos, cerr := sweep.ParseChaos(*chaosSpec)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		opts.Chaos = chaos
 	}
 	if len(fleets) == 0 && !*inProcess {
 		self, err := os.Executable()
@@ -150,19 +167,22 @@ func runSweep(args []string) {
 	}
 
 	start := time.Now()
-	var st engine.BatchStats
+	var rep sweep.SweepReport
 	if len(fleets) > 0 {
-		st, err = sweep.RunFleets(plan, fleets, opts)
+		rep, err = sweep.RunFleets(plan, fleets, opts)
 	} else {
-		st, err = sweep.Run(plan, opts)
+		rep, err = sweep.Run(plan, opts)
 	}
 	elapsed := time.Since(start)
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := rep.Stats
 	fmt.Printf("sweep: protocol=%s sched=%s units=%d workers=%d elapsed=%s\n",
 		*protocol, *sched, len(plan.Shards), *workers, elapsed.Round(time.Millisecond))
 	fmt.Printf("graphs=%d total_bits=%d max_bits=%d max_n=%d accepted=%d rejected=%d errors=%d\n",
 		st.Graphs, st.TotalBits, st.MaxBits, st.MaxN, st.Accepted, st.Rejected, st.Errors)
 	fmt.Printf("mean bits/graph=%.2f\n", st.MeanBitsPerGraph())
+	fmt.Printf("robustness: restored=%d retries=%d requeues=%d hedges=%d hedge_wins=%d deadline_kills=%d breaker_trips=%d duplicates=%d\n",
+		rep.Restored, rep.Retries, rep.Requeues, rep.Hedges, rep.HedgeWins, rep.DeadlineKills, rep.BreakerTrips, rep.Duplicates)
 }

@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Breaker is a per-endpoint circuit breaker shared by every slot of a fleet's
+// transport. Its job is to keep a flapping daemon — one that accepts
+// connections and then drops them mid-unit, or refuses dials outright — from
+// eating every slot's dial cycles and retry budget: after `threshold`
+// consecutive failures an endpoint is quarantined (open) for `cooldown`, dial
+// loops skip it, and once the cooldown expires exactly one half-open probe is
+// admitted. A successful probe closes the breaker; a failed one re-arms the
+// quarantine.
+//
+// Quarantine degrades, it never deadlocks: when every endpoint of a fleet is
+// open at once, TCP.Dial force-probes the whole list anyway (liveness beats
+// quarantine — a wrong quarantine must cost latency, not correctness).
+//
+// All methods are safe on a nil *Breaker (they no-op, Allow reports true),
+// so transports can hold an optional breaker without nil checks.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+	trips     atomic.Int64
+
+	mu  sync.Mutex
+	eps map[string]*endpointState
+}
+
+type endpointState struct {
+	fails   int       // consecutive failures
+	open    bool      // quarantined
+	until   time.Time // quarantine expiry
+	probing bool      // a half-open trial is in flight
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive failures
+// (minimum 1) and quarantining for cooldown (default 500ms).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 500 * time.Millisecond
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		eps:       map[string]*endpointState{},
+	}
+}
+
+func (b *Breaker) state(addr string) *endpointState {
+	st := b.eps[addr]
+	if st == nil {
+		st = &endpointState{}
+		b.eps[addr] = st
+	}
+	return st
+}
+
+// Allow reports whether addr may be dialed now. A quarantined endpoint whose
+// cooldown has expired admits exactly one half-open probe at a time; its
+// Success or Failure decides whether the breaker closes or re-arms.
+func (b *Breaker) Allow(addr string) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(addr)
+	if !st.open {
+		return true
+	}
+	if b.now().Before(st.until) || st.probing {
+		return false
+	}
+	st.probing = true
+	return true
+}
+
+// Success records a healthy interaction (dial+handshake, or a completed
+// round-trip) and closes the endpoint's breaker.
+func (b *Breaker) Success(addr string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(addr)
+	st.fails, st.open, st.probing = 0, false, false
+}
+
+// Failure records one failure against addr. The threshold'th consecutive
+// failure trips the breaker; a failure while quarantined (a half-open probe,
+// or a forced probe) re-arms the quarantine window.
+func (b *Breaker) Failure(addr string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state(addr)
+	st.fails++
+	if st.open {
+		probe := st.probing
+		st.probing = false
+		st.until = b.now().Add(b.cooldown)
+		if probe {
+			b.trips.Add(1)
+		}
+		return
+	}
+	if st.fails >= b.threshold {
+		st.open = true
+		st.until = b.now().Add(b.cooldown)
+		b.trips.Add(1)
+	}
+}
+
+// Trips counts quarantine events across all endpoints: closed→open
+// transitions plus failed half-open probes.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.trips.Load()
+}
+
+// Quarantined lists the endpoints currently open, sorted, for logs and tests.
+func (b *Breaker) Quarantined() []string {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []string
+	for addr, st := range b.eps {
+		if st.open && b.now().Before(st.until) {
+			out = append(out, addr)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+)
+
+// clockBreaker returns a breaker on a manually-advanced clock.
+func clockBreaker(threshold int, cooldown time.Duration) (*Breaker, *time.Time) {
+	b := NewBreaker(threshold, cooldown)
+	now := time.Unix(1000, 0)
+	b.now = func() time.Time { return now }
+	return b, &now
+}
+
+func TestBreakerTripsAndProbesBack(t *testing.T) {
+	b, now := clockBreaker(2, time.Second)
+	const addr = "a:1"
+	if !b.Allow(addr) {
+		t.Fatal("fresh endpoint not allowed")
+	}
+	b.Failure(addr)
+	if !b.Allow(addr) || b.Trips() != 0 {
+		t.Fatal("tripped below threshold")
+	}
+	b.Failure(addr)
+	if b.Allow(addr) {
+		t.Error("endpoint allowed right after tripping")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("trips=%d, want 1", b.Trips())
+	}
+	if q := b.Quarantined(); len(q) != 1 || q[0] != addr {
+		t.Errorf("quarantined=%v, want [%s]", q, addr)
+	}
+
+	// Cooldown expiry admits exactly one half-open probe.
+	*now = now.Add(1100 * time.Millisecond)
+	if !b.Allow(addr) {
+		t.Fatal("expired quarantine did not admit a probe")
+	}
+	if b.Allow(addr) {
+		t.Error("second concurrent probe admitted")
+	}
+
+	// A failed probe re-arms the quarantine and counts as a trip.
+	b.Failure(addr)
+	if b.Allow(addr) {
+		t.Error("endpoint allowed right after a failed probe")
+	}
+	if b.Trips() != 2 {
+		t.Errorf("trips=%d after failed probe, want 2", b.Trips())
+	}
+
+	// A successful probe closes the breaker for good.
+	*now = now.Add(1100 * time.Millisecond)
+	if !b.Allow(addr) {
+		t.Fatal("re-armed quarantine did not expire")
+	}
+	b.Success(addr)
+	if !b.Allow(addr) || !b.Allow(addr) {
+		t.Error("closed breaker still rationing dials")
+	}
+	if len(b.Quarantined()) != 0 {
+		t.Errorf("quarantined=%v after recovery, want none", b.Quarantined())
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b, _ := clockBreaker(3, time.Second)
+	const addr = "a:1"
+	// Interleaved successes keep the consecutive count from ever reaching
+	// the threshold: only sustained failure trips.
+	for i := 0; i < 10; i++ {
+		b.Failure(addr)
+		b.Failure(addr)
+		b.Success(addr)
+	}
+	if !b.Allow(addr) || b.Trips() != 0 {
+		t.Errorf("intermittent failures tripped the breaker (trips=%d)", b.Trips())
+	}
+}
+
+func TestBreakerNilIsInert(t *testing.T) {
+	var b *Breaker
+	if !b.Allow("a:1") {
+		t.Error("nil breaker denied a dial")
+	}
+	b.Success("a:1")
+	b.Failure("a:1")
+	if b.Trips() != 0 || b.Quarantined() != nil {
+		t.Error("nil breaker kept state")
+	}
+}
+
+// The redial backoff is exponential with a cap, and its jitter is a pure
+// function of (seed, slot, cycle) — reproducible, but spread across slots so
+// a fleet doesn't redial a restarted daemon in lockstep.
+func TestJitterBackoffDeterministicAndBounded(t *testing.T) {
+	base, max := 100*time.Millisecond, 2*time.Second
+	for cycle := 1; cycle <= 12; cycle++ {
+		for slot := 0; slot < 4; slot++ {
+			d := jitterBackoff(base, max, 7, slot, cycle)
+			if d != jitterBackoff(base, max, 7, slot, cycle) {
+				t.Fatalf("cycle %d slot %d: jitter not deterministic", cycle, slot)
+			}
+			ideal := base << uint(cycle-1)
+			if ideal > max || ideal <= 0 {
+				ideal = max
+			}
+			lo := time.Duration(float64(ideal) * 0.5)
+			hi := time.Duration(float64(ideal) * 1.5)
+			if d < lo || d >= hi {
+				t.Errorf("cycle %d slot %d: backoff %s outside [%s, %s)", cycle, slot, d, lo, hi)
+			}
+		}
+	}
+	if jitterBackoff(base, max, 7, 0, 1) == jitterBackoff(base, max, 8, 0, 1) &&
+		jitterBackoff(base, max, 7, 1, 2) == jitterBackoff(base, max, 8, 1, 2) &&
+		jitterBackoff(base, max, 7, 2, 3) == jitterBackoff(base, max, 8, 2, 3) {
+		t.Error("different seeds produced identical jitter schedules")
+	}
+}
+
+// A fleet whose every endpoint is quarantined must still dial: the walk
+// force-probes the whole list instead of wedging the slot.
+func TestDialForceProbesWhenAllQuarantined(t *testing.T) {
+	addr := startDaemon(t)
+	b, _ := clockBreaker(1, time.Hour)
+	b.Failure(addr) // quarantine the only endpoint, cooldown far from over
+	if b.Allow(addr) {
+		t.Fatal("endpoint not quarantined")
+	}
+	tr := &TCP{Addrs: []string{addr}, Breaker: b, Cycles: 1}
+	conn, err := tr.Dial()
+	if err != nil {
+		t.Fatalf("dial with all endpoints quarantined: %v", err)
+	}
+	conn.Close()
+	// The forced probe succeeded, so the endpoint is rehabilitated.
+	if !b.Allow(addr) {
+		t.Error("successful forced probe did not close the breaker")
+	}
+}

@@ -155,8 +155,8 @@ func TestServeParallelMatchesSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("serve -parallel sweep stats %+v, want %+v", got, want)
+	if got.Stats != want.Stats {
+		t.Errorf("serve -parallel sweep stats %+v, want %+v", got.Stats, want.Stats)
 	}
 
 	l.Close()

@@ -33,10 +33,16 @@ func (f Fleet) group(opts Options) fleetGroup {
 	if name == "" {
 		name = strings.Join(f.Addrs, ",")
 	}
+	br := opts.breaker()
+	var tr Transport = &TCP{Addrs: f.Addrs, Log: opts.Log, Seed: opts.Seed, Breaker: br}
+	if opts.Chaos != nil {
+		tr = NewChaosTransport(tr, *opts.Chaos)
+	}
 	return fleetGroup{
 		name:      name,
-		transport: &TCP{Addrs: f.Addrs, Log: opts.Log},
+		transport: tr,
 		workers:   workers,
+		breaker:   br,
 	}
 }
 
@@ -52,15 +58,15 @@ func (f Fleet) group(opts Options) fleetGroup {
 // A fleet that fails units past the retry budget does not stop the others:
 // like Run, RunFleets finishes everything it can, then reports the first
 // failure.
-func RunFleets(plan engine.Plan, fleets []Fleet, opts Options) (engine.BatchStats, error) {
+func RunFleets(plan engine.Plan, fleets []Fleet, opts Options) (SweepReport, error) {
 	if len(fleets) == 0 {
-		return engine.BatchStats{}, fmt.Errorf("sweep: no fleets")
+		return SweepReport{}, fmt.Errorf("sweep: no fleets")
 	}
 	opts.Log = wrapLog(opts.Log)
 	groups := make([]fleetGroup, 0, len(fleets))
 	for i, f := range fleets {
 		if len(f.Addrs) == 0 {
-			return engine.BatchStats{}, fmt.Errorf("sweep: fleet %d has no addresses", i)
+			return SweepReport{}, fmt.Errorf("sweep: fleet %d has no addresses", i)
 		}
 		groups = append(groups, f.group(opts))
 	}

@@ -96,9 +96,12 @@ func openManifest(path string, plan engine.Plan) (*manifest, map[int]engine.Batc
 	for sc.Scan() {
 		var res Result
 		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
-			// A torn final line from a crash mid-append: everything before
-			// it is intact, so resume from there.
-			break
+			// An unparseable record — a torn final line from a crash
+			// mid-append, or a garbled interior line from disk trouble.
+			// Skip it (that unit is simply re-run) rather than stopping:
+			// a break here would shadow every intact record after the bad
+			// line and silently redo work that was already checkpointed.
+			continue
 		}
 		if res.Err == "" && res.ID >= 0 && res.ID < len(plan.Shards) {
 			done[res.ID] = res.Stats

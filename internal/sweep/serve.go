@@ -1,18 +1,21 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // ServeOptions configures a worker daemon.
 type ServeOptions struct {
-	// Log receives one line per accepted, served and rejected connection;
-	// nil discards. It need not be goroutine-safe.
+	// Log receives one line per accepted, served and rejected connection,
+	// plus the drain summary; nil discards. It need not be goroutine-safe.
 	Log io.Writer
 	// HandshakeTimeout bounds how long an accepted connection may take to
 	// complete the handshake before it is dropped (default 10s) — an
@@ -26,6 +29,14 @@ type ServeOptions struct {
 	// Parallel no matter how many coordinators dial in. ≤ 1 keeps the
 	// original one-unit-one-thread behavior.
 	Parallel int
+	// Context, when non-nil, arms graceful drain: when it is cancelled the
+	// daemon stops accepting, lets every in-flight unit finish and flush
+	// its result, closes the connections (coordinators see EOF and retry
+	// the rest of their plan elsewhere), closes the executor pool, logs a
+	// drain summary, and Serve returns nil. cmd/refereesim wires SIGTERM/
+	// SIGINT here so a fleet daemon can be restarted without eating the
+	// retry budget of every coordinator mid-unit.
+	Context context.Context
 }
 
 // Serve runs the `refereesim serve` worker daemon: it accepts coordinator
@@ -39,10 +50,12 @@ type ServeOptions struct {
 // shared executor pool.
 //
 // Serve returns nil when l is closed (the clean shutdown path) and the
-// accept error otherwise. In-flight connections are not interrupted by
-// shutdown: their goroutines finish serving and exit on their own EOF (the
-// shared executor pool, when there is one, is released only after the last
-// of them drains).
+// accept error otherwise. Without ServeOptions.Context, in-flight
+// connections are not interrupted by shutdown: their goroutines finish
+// serving and exit on their own EOF (the shared executor pool, when there is
+// one, is released only after the last of them drains). With a Context,
+// cancellation triggers the graceful drain documented on ServeOptions, and
+// Serve returns only after the drain completes.
 func Serve(l net.Listener, opts ServeOptions) error {
 	var mu sync.Mutex
 	logf := func(format string, args ...interface{}) {
@@ -56,35 +69,109 @@ func Serve(l net.Listener, opts ServeOptions) error {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+
+	var (
+		draining     atomic.Bool
+		inflight     atomic.Int64 // units executing right now
+		drainedUnits atomic.Int64 // units whose execution finished after drain started
+		conns        sync.WaitGroup
+		liveMu       sync.Mutex
+		live         = map[net.Conn]bool{}
+	)
+
 	exec := executeUnit
 	var pool *Executor
-	var conns sync.WaitGroup
+	var poolClose sync.Once
 	if opts.Parallel > 1 {
 		pool = NewExecutor(opts.Parallel)
 		exec = pool.Execute
-		// The pool must outlive every connection that can still submit to
-		// it, and Serve must not block shutdown on a slow coordinator — so
-		// the close happens off to the side, after the last connection
-		// goroutine drains.
-		defer func() {
-			go func() {
-				conns.Wait()
-				pool.Close()
-			}()
+	}
+	// The in-flight accounting wraps every execution so the drain summary
+	// can say how many units were finished rather than abandoned.
+	execWrapped := func(u Unit) Result {
+		inflight.Add(1)
+		res := exec(u)
+		inflight.Add(-1)
+		if draining.Load() {
+			drainedUnits.Add(1)
+		}
+		return res
+	}
+	// The pool must outlive every connection that can still submit to it.
+	// On the drain path it is closed synchronously before Serve returns;
+	// on the legacy path (listener closed externally, no Context) the
+	// close happens off to the side so Serve doesn't block shutdown on a
+	// slow coordinator.
+	releasePool := func(wait bool) {
+		if pool == nil {
+			return
+		}
+		if wait {
+			conns.Wait()
+			poolClose.Do(pool.Close)
+			return
+		}
+		go func() {
+			conns.Wait()
+			poolClose.Do(pool.Close)
 		}()
 	}
+
+	if ctx := opts.Context; ctx != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-stopWatch:
+				return
+			case <-ctx.Done():
+			}
+			draining.Store(true)
+			logf("serve: drain: stopped accepting, finishing %d in-flight units", inflight.Load())
+			l.Close()
+			// Unwedge every connection blocked reading its next unit; a
+			// connection mid-execution finishes the unit, flushes the
+			// result, and hits the expired deadline on its next read.
+			liveMu.Lock()
+			for nc := range live {
+				nc.SetReadDeadline(time.Now())
+			}
+			liveMu.Unlock()
+		}()
+	}
+
 	for {
 		nc, err := l.Accept()
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
+				if draining.Load() {
+					conns.Wait()
+					releasePool(true)
+					logf("serve: drained: %d in-flight units completed, pool closed", drainedUnits.Load())
+					return nil
+				}
+				releasePool(false)
 				return nil
 			}
+			releasePool(false)
 			return fmt.Errorf("sweep: accept: %w", err)
 		}
 		conns.Add(1)
+		liveMu.Lock()
+		live[nc] = true
+		if draining.Load() {
+			// Raced the drain sweep: poke the deadline ourselves.
+			nc.SetReadDeadline(time.Now())
+		}
+		liveMu.Unlock()
 		go func() {
-			defer conns.Done()
-			defer nc.Close()
+			defer func() {
+				liveMu.Lock()
+				delete(live, nc)
+				liveMu.Unlock()
+				nc.Close()
+				conns.Done()
+			}()
 			addr := nc.RemoteAddr()
 			conn := newLineConn(nc, nc)
 			nc.SetDeadline(time.Now().Add(timeout))
@@ -94,8 +181,12 @@ func Serve(l net.Listener, opts ServeOptions) error {
 			}
 			nc.SetDeadline(time.Time{})
 			logf("serve: %s connected", addr)
-			if err := serveUnits(conn.in, nc, exec); err != nil {
-				logf("serve: %s: %v", addr, err)
+			if err := serveUnits(conn.in, nc, execWrapped); err != nil {
+				if draining.Load() && errors.Is(err, os.ErrDeadlineExceeded) {
+					logf("serve: %s drained", addr)
+				} else {
+					logf("serve: %s: %v", addr, err)
+				}
 				return
 			}
 			logf("serve: %s done", addr)

@@ -21,23 +21,47 @@
 // (ServeOptions.Parallel, executor.go), splitting range-shaped sources
 // k ways via engine.SplitShard — invisible to the coordinator, since merged
 // stats are byte-identical to single-threaded execution.
-// A dropped connection is the death of the in-flight unit's worker: the unit
-// is retried (on a redialed connection, failing over across daemon addresses
-// with backoff); completed units are checkpointed to a resumable manifest
-// file — a JSON-lines log holding a fingerprinted header and one Result per
-// finished unit (see manifest.go) — so a killed coordinator resumes where it
-// stopped instead of restarting at rank 0. RunFleets (fleet.go) stacks a
-// meta-coordinator on top: one global plan and manifest, split across
-// per-machine fleets.
+//
+// The coordinator is hardened against every failure mode a multi-hour fleet
+// run hits, not just dropped connections:
+//
+//   - a dropped connection is the death of the in-flight unit's worker: the
+//     unit is retried (on a redialed connection, failing over across daemon
+//     addresses with jittered exponential backoff);
+//   - a *hung* worker is reclaimed by Options.UnitTimeout: a round-trip
+//     exceeding the per-unit deadline counts as a failure, the slot abandons
+//     the connection and redials, and the unit re-enters the retry path;
+//   - a *slow* worker is raced by Options.Hedge: a unit in flight past the
+//     hedge delay is speculatively re-issued to another slot, first result
+//     wins, the loser is discarded by unit ID (safe because workers are
+//     idempotent per unit — see docs/sweep-protocol.md — and the merge layer
+//     counts one result per unit);
+//   - a *flapping* daemon address is quarantined by a per-endpoint circuit
+//     breaker (breaker.go) after consecutive failures and probed back with
+//     half-open trials;
+//   - completed units are checkpointed to a resumable manifest file — a
+//     JSON-lines log holding a fingerprinted header and one Result per
+//     finished unit (see manifest.go) — so a killed coordinator resumes where
+//     it stopped instead of restarting at rank 0.
+//
+// Run and RunFleets return a SweepReport carrying the merged stats plus the
+// robustness counters (retries, requeues, hedges, deadline kills, breaker
+// trips), and ChaosTransport (chaos.go) injects all of the above failure
+// modes on a deterministic seed for tests and soaks. RunFleets (fleet.go)
+// stacks a meta-coordinator on top: one global plan and manifest, split
+// across per-machine fleets.
 //
 // The wire protocol is specified in docs/sweep-protocol.md; third-party
 // workers can be written against it.
 package sweep
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"refereenet/internal/engine"
 )
@@ -74,75 +98,172 @@ type Options struct {
 	// discards the former and routes the latter to os.Stderr. It need not
 	// be goroutine-safe: Run serializes all writes through one mutex.
 	Log io.Writer
+
+	// UnitTimeout is the per-unit deadline: a round-trip exceeding it is
+	// charged as a unit failure, the slot abandons the (possibly hung)
+	// connection and redials, and the unit re-enters the retry/requeue
+	// path. 0 disables the deadline — a hung worker then stalls its slot
+	// until the connection drops on its own.
+	UnitTimeout time.Duration
+	// Hedge speculatively re-issues a unit still in flight after this
+	// delay to another slot. The first result wins; the loser is discarded
+	// by unit ID, which is safe because workers are idempotent per unit
+	// and the merge layer counts exactly one result per unit. At most one
+	// hedge is launched per unit. 0 disables hedging.
+	Hedge time.Duration
+	// Seed drives the deterministic jitter on TCP redial backoff (and any
+	// other randomized robustness machinery), so fleet-mates don't redial
+	// in lockstep after a daemon restart yet runs stay reproducible.
+	Seed int64
+	// BreakerThreshold is how many consecutive failures (dials or
+	// round-trips) quarantine a daemon address. 0 means the default (5);
+	// negative disables the circuit breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped endpoint stays quarantined
+	// before a half-open probe is admitted (default 500ms).
+	BreakerCooldown time.Duration
+	// Chaos, when non-nil, wraps the resolved transport in a
+	// ChaosTransport injecting the configured fault schedule — the
+	// deterministic soak harness for everything above.
+	Chaos *ChaosOptions
+}
+
+// breaker builds the per-fleet endpoint breaker from the options, or nil
+// when disabled.
+func (o Options) breaker() *Breaker {
+	if o.BreakerThreshold < 0 {
+		return nil
+	}
+	threshold := o.BreakerThreshold
+	if threshold == 0 {
+		threshold = 5
+	}
+	return NewBreaker(threshold, o.BreakerCooldown)
 }
 
 // transport resolves the Options precedence into the Transport worker slots
-// dial through, plus the slot count.
-func (o Options) transport() (Transport, int) {
+// dial through, plus the slot count and the endpoint breaker (TCP only).
+func (o Options) transport() (Transport, int, *Breaker) {
 	workers := o.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	switch {
 	case o.Transport != nil:
-		return o.Transport, workers
+		return o.Transport, workers, nil
 	case len(o.Dial) > 0:
 		if o.Workers < 1 {
 			workers = len(o.Dial)
 		}
-		return &TCP{Addrs: o.Dial, Log: o.Log}, workers
+		br := o.breaker()
+		return &TCP{Addrs: o.Dial, Log: o.Log, Seed: o.Seed, Breaker: br}, workers, br
 	case len(o.Command) > 0:
-		return Subprocess{Command: o.Command, Env: o.Env, Stderr: o.Log}, workers
+		return Subprocess{Command: o.Command, Env: o.Env, Stderr: o.Log}, workers, nil
 	default:
-		return InProcess{}, workers
+		return InProcess{}, workers, nil
 	}
 }
 
+// SweepReport is what Run and RunFleets return: the merged stats plus the
+// robustness counters that say how hard the fleet had to work for them.
+type SweepReport struct {
+	// Stats is the merged BatchStats of every unit — the answer.
+	Stats engine.BatchStats
+	// Units is the plan size; Restored of them came from the manifest,
+	// Executed completed live, Failed exhausted their retry budget.
+	Units    int
+	Restored int
+	Executed int
+	Failed   int
+	// Retries counts failed dispatches charged to the retry budget;
+	// Requeues counts the re-dispatches that followed.
+	Retries  int
+	Requeues int
+	// Hedges counts speculative duplicate dispatches launched after
+	// Options.Hedge; HedgeWins counts units whose winning result came from
+	// the hedge rather than the original dispatch.
+	Hedges    int
+	HedgeWins int
+	// DeadlineKills counts dispatches killed by Options.UnitTimeout.
+	DeadlineKills int
+	// Duplicates counts late results discarded because their unit was
+	// already merged (hedge losers, duplicate executions after a lost
+	// result). Each unit is merged exactly once no matter what this says.
+	Duplicates int
+	// BreakerTrips counts endpoint quarantine events across all fleets.
+	BreakerTrips int
+}
+
+// counters is the atomic backing for a SweepReport, shared by every
+// coordinator of a run.
+type counters struct {
+	executed, failed, retries, requeues          atomic.Int64
+	hedges, hedgeWins, deadlineKills, duplicates atomic.Int64
+}
+
+func (c *counters) fill(rep *SweepReport) {
+	rep.Executed = int(c.executed.Load())
+	rep.Failed = int(c.failed.Load())
+	rep.Retries = int(c.retries.Load())
+	rep.Requeues = int(c.requeues.Load())
+	rep.Hedges = int(c.hedges.Load())
+	rep.HedgeWins = int(c.hedgeWins.Load())
+	rep.DeadlineKills = int(c.deadlineKills.Load())
+	rep.Duplicates = int(c.duplicates.Load())
+}
+
 // Run executes every shard of plan across the worker fleet and returns the
-// merged stats. Units already recorded in the manifest are not re-executed;
-// their checkpointed stats are merged in. On unit failure past the retry
-// budget Run finishes the remaining units, then reports the first failure.
-func Run(plan engine.Plan, opts Options) (engine.BatchStats, error) {
+// merged stats and robustness counters. Units already recorded in the
+// manifest are not re-executed; their checkpointed stats are merged in. On
+// unit failure past the retry budget Run finishes the remaining units, then
+// reports the first failure.
+func Run(plan engine.Plan, opts Options) (SweepReport, error) {
 	opts.Log = wrapLog(opts.Log)
-	tr, workers := opts.transport()
-	return runGroups(plan, opts, []fleetGroup{{transport: tr, workers: workers}})
+	tr, workers, br := opts.transport()
+	if opts.Chaos != nil {
+		tr = NewChaosTransport(tr, *opts.Chaos)
+	}
+	return runGroups(plan, opts, []fleetGroup{{transport: tr, workers: workers, breaker: br}})
 }
 
 // fleetGroup is one fleet's slice of a sweep: a transport plus how many
-// concurrent slots dial through it. runGroups assigns each group a
-// contiguous block of the pending units.
+// concurrent slots dial through it, plus the fleet's endpoint breaker (nil
+// for non-TCP transports). runGroups assigns each group a contiguous block
+// of the pending units.
 type fleetGroup struct {
 	name      string
 	transport Transport
 	workers   int
+	breaker   *Breaker
 }
 
 // runGroups is the executor shared by Run (one group) and RunFleets (one
 // group per fleet): restore the manifest, split the pending units across
 // groups proportionally to their worker counts, run every group's
 // coordinator concurrently against the shared manifest, and merge.
-func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (engine.BatchStats, error) {
+func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (SweepReport, error) {
 	opts.Log = wrapLog(opts.Log)
 	mf, done, err := openManifest(opts.Manifest, plan)
 	if err != nil {
-		return engine.BatchStats{}, err
+		return SweepReport{}, err
 	}
 	defer mf.close()
 
-	var total engine.BatchStats
+	rep := SweepReport{Units: len(plan.Shards), Restored: len(done)}
 	units := make([]Unit, 0, len(plan.Shards))
 	for id, spec := range plan.Shards {
 		if st, ok := done[id]; ok {
-			total.Merge(st)
+			rep.Stats.Merge(st)
 			continue
 		}
 		units = append(units, Unit{ID: id, Spec: spec})
 	}
 	logf(opts.Log, "sweep: %d units (%d restored from manifest), %d groups", len(units), len(done), len(groups))
 	if len(units) == 0 {
-		return total, nil
+		return rep, nil
 	}
 
+	ctr := &counters{}
 	parts := partitionUnits(units, groups)
 	var (
 		mu       sync.Mutex
@@ -156,10 +277,10 @@ func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (engine.Batc
 		wg.Add(1)
 		go func(g fleetGroup, part []Unit) {
 			defer wg.Done()
-			c := &coordinator{opts: opts, group: g, mf: mf}
+			c := &coordinator{opts: opts, group: g, mf: mf, ctr: ctr}
 			st, err := c.run(part)
 			mu.Lock()
-			total.Merge(st)
+			rep.Stats.Merge(st)
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -167,7 +288,15 @@ func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (engine.Batc
 		}(groups[gi], parts[gi])
 	}
 	wg.Wait()
-	return total, firstErr
+	ctr.fill(&rep)
+	for _, g := range groups {
+		rep.BreakerTrips += int(g.breaker.Trips())
+	}
+	logf(opts.Log,
+		"sweep: done: units=%d restored=%d executed=%d failed=%d retries=%d requeues=%d hedges=%d hedge_wins=%d deadline_kills=%d breaker_trips=%d duplicates=%d",
+		rep.Units, rep.Restored, rep.Executed, rep.Failed, rep.Retries, rep.Requeues,
+		rep.Hedges, rep.HedgeWins, rep.DeadlineKills, rep.BreakerTrips, rep.Duplicates)
+	return rep, firstErr
 }
 
 // partitionUnits splits units into contiguous blocks proportional to each
@@ -200,14 +329,32 @@ func partitionUnits(units []Unit, groups []fleetGroup) [][]Unit {
 	return parts
 }
 
+// dispatch is one trip of a unit through a worker slot. A unit can have at
+// most two dispatches alive at once: the original (or its requeue) plus one
+// hedge — the invariant that bounds the work channel.
+type dispatch struct {
+	u     Unit
+	hedge bool
+}
+
+// outcome is one dispatch's terminal report back to the receive loop. Every
+// dispatch taken off the work channel produces exactly one outcome.
+type outcome struct {
+	res   Result
+	hedge bool
+}
+
 // coordinator drives one group's units through its transport's worker slots.
 type coordinator struct {
-	opts    Options
-	group   fleetGroup
-	mf      *manifest
-	work    chan Unit
-	results chan Result
-	byID    map[int]Unit
+	opts     Options
+	group    fleetGroup
+	mf       *manifest
+	ctr      *counters
+	work     chan dispatch
+	results  chan outcome
+	hedgeReq chan int
+	stopped  atomic.Bool
+	byID     map[int]Unit
 }
 
 func logf(w io.Writer, format string, args ...interface{}) {
@@ -224,23 +371,30 @@ func (c *coordinator) logf(format string, args ...interface{}) {
 }
 
 // run executes units across the group's worker slots and returns their
-// merged stats. The structure mirrors the pre-transport coordinator: a
-// buffered work channel (capacity len(units) can never block — a requeue
-// only happens after a worker drained a slot by taking the failed unit off
-// the channel), one results line per unit taken, retry accounting at the
-// receive side.
+// merged stats. Accounting lives entirely in this goroutine: slots report
+// one outcome per dispatch, hedge requests arrive over their own channel,
+// and the pending/done/tries maps decide merging, requeueing and
+// termination. A unit is merged (and checkpointed) exactly once — late
+// duplicate results, hedge losers included, are discarded by ID.
 func (c *coordinator) run(units []Unit) (engine.BatchStats, error) {
 	workers := c.group.workers
 	if workers < 1 {
 		workers = 1
 	}
-	c.work = make(chan Unit, len(units))
-	c.results = make(chan Result, workers)
+	// Capacity bound: a unit has at most two dispatches alive at any moment
+	// (original/requeue + one hedge), so 2·len(units) queued entries can
+	// never be exceeded and neither requeues nor hedges can block this
+	// goroutine against slots blocked on the results channel.
+	c.work = make(chan dispatch, 2*len(units))
+	c.results = make(chan outcome, workers+1)
+	c.hedgeReq = make(chan int, workers+1)
 	c.byID = make(map[int]Unit, len(units))
 	c.logf("sweep: %d units over %d workers via %s", len(units), workers, c.group.transport.Name())
+	pending := make(map[int]int, len(units)) // queued + in-flight dispatches per unit
 	for _, u := range units {
 		c.byID[u.ID] = u
-		c.work <- u
+		pending[u.ID] = 1
+		c.work <- dispatch{u: u}
 	}
 
 	var wg sync.WaitGroup
@@ -254,75 +408,216 @@ func (c *coordinator) run(units []Unit) (engine.BatchStats, error) {
 
 	var total engine.BatchStats
 	tries := make(map[int]int)
+	done := make(map[int]bool)
+	hedged := make(map[int]bool)
 	var firstErr error
 	for outstanding := len(units); outstanding > 0; {
-		res := <-c.results
-		if res.Err == "" {
-			if err := c.mf.record(res); err != nil && firstErr == nil {
-				firstErr = err
+		select {
+		case id := <-c.hedgeReq:
+			if done[id] || hedged[id] {
+				continue
 			}
-			total.Merge(res.Stats)
-			outstanding--
-			continue
-		}
-		tries[res.ID]++
-		if tries[res.ID] > c.opts.Retries {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("sweep: unit %d failed after %d attempts: %s", res.ID, tries[res.ID], res.Err)
+			select {
+			case c.work <- dispatch{u: c.byID[id], hedge: true}:
+				hedged[id] = true
+				pending[id]++
+				c.ctr.hedges.Add(1)
+				c.logf("sweep: hedging straggler unit %d", id)
+			default:
 			}
-			c.logf("sweep: unit %d failed permanently: %s", res.ID, res.Err)
-			outstanding--
-			continue
+		case o := <-c.results:
+			id := o.res.ID
+			pending[id]--
+			if done[id] {
+				// The losing half of a hedge pair, or a duplicate
+				// execution after a lost result: the unit was already
+				// merged exactly once, this result merges zero times.
+				c.ctr.duplicates.Add(1)
+				continue
+			}
+			if o.res.Err == "" {
+				done[id] = true
+				if err := c.mf.record(o.res); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				total.Merge(o.res.Stats)
+				c.ctr.executed.Add(1)
+				if o.hedge {
+					c.ctr.hedgeWins.Add(1)
+				}
+				outstanding--
+				continue
+			}
+			tries[id]++
+			c.ctr.retries.Add(1)
+			if tries[id] > c.opts.Retries {
+				if pending[id] > 0 {
+					// A twin dispatch is still in flight and may yet
+					// succeed; don't declare the unit dead while a
+					// result could still arrive.
+					continue
+				}
+				if firstErr == nil {
+					firstErr = fmt.Errorf("sweep: unit %d failed after %d attempts: %s", id, tries[id], o.res.Err)
+				}
+				c.logf("sweep: unit %d failed permanently: %s", id, o.res.Err)
+				done[id] = true
+				c.ctr.failed.Add(1)
+				outstanding--
+				continue
+			}
+			if pending[id] > 0 {
+				// The twin is still out; requeue only if it fails too.
+				continue
+			}
+			c.logf("sweep: retrying unit %d (attempt %d): %s", id, tries[id]+1, o.res.Err)
+			pending[id]++
+			c.ctr.requeues.Add(1)
+			c.work <- dispatch{u: c.byID[id]}
 		}
-		c.logf("sweep: retrying unit %d (attempt %d): %s", res.ID, tries[res.ID]+1, res.Err)
-		c.work <- c.byID[res.ID]
 	}
+	c.stopped.Store(true)
 	close(c.work)
-	wg.Wait()
+	// Hedge losers may still be in flight; drain their outcomes so the
+	// slots can exit, discarding results nobody is waiting for.
+	go func() {
+		wg.Wait()
+		close(c.results)
+	}()
+	for o := range c.results {
+		if done[o.res.ID] && o.res.Err == "" {
+			c.ctr.duplicates.Add(1)
+		}
+	}
 	return total, firstErr
 }
 
-// slotLoop owns one worker slot: it dials the group's transport, streams
-// units through the connection, and redials on transport failure. Every unit
-// taken off the work channel produces exactly one Result — that invariant is
-// what lets run count completions.
-func (c *coordinator) slotLoop(slot int) {
-	tcp, isTCP := c.group.transport.(*TCP)
-	// Pin this slot's preferred daemon so a fleet's slots spread over its
-	// addresses instead of all piling onto the first one; start advances
-	// after every broken connection so a slot whose daemon keeps dying
-	// migrates to its fleet mates instead of burning the retry budget
-	// against one corpse.
-	start := slot
-	dial := func() (Conn, error) {
-		if isTCP {
-			pinned := *tcp
-			pinned.Start = start
-			return pinned.Dial()
-		}
-		return c.group.transport.Dial()
+// slotPinner lets a transport hand each coordinator slot its own view —
+// TCP pins the preferred daemon address, decorators (ChaosTransport) pass
+// the pin through to what they wrap.
+type slotPinner interface {
+	pinned(slot int) Transport
+}
+
+// dialSlot dials the group's transport with this slot's preference pinned,
+// so a fleet's slots spread over its addresses instead of piling onto the
+// first one.
+func (c *coordinator) dialSlot(start int) (Conn, error) {
+	if p, ok := c.group.transport.(slotPinner); ok {
+		return p.pinned(start).Dial()
+	}
+	return c.group.transport.Dial()
+}
+
+// noteConn reports a round-trip's endpoint success or failure to the fleet's
+// breaker, when both the breaker and the connection's endpoint identity
+// exist (TCP conns, chaos-wrapped or not).
+func (c *coordinator) noteConn(conn Conn, ok bool) {
+	br := c.group.breaker
+	if br == nil {
+		return
+	}
+	ec, okE := conn.(interface{ Endpoint() string })
+	if !okE || ec.Endpoint() == "" {
+		return
+	}
+	if ok {
+		br.Success(ec.Endpoint())
+	} else {
+		br.Failure(ec.Endpoint())
+	}
+}
+
+// errUnitDeadline marks dispatches killed by Options.UnitTimeout.
+var errUnitDeadline = errors.New("unit deadline exceeded")
+
+// attempt runs one dispatch's round-trip, arming the hedge and deadline
+// timers when configured. A deadline kill abandons the round-trip: the
+// connection then has a dead unit in flight whose eventual reply would
+// desync the framing, so the caller must close it and redial.
+func (c *coordinator) attempt(conn Conn, d dispatch) (Result, error) {
+	deadline := c.opts.UnitTimeout
+	hedgeAfter := c.opts.Hedge
+	if deadline <= 0 && (hedgeAfter <= 0 || d.hedge) {
+		return conn.RoundTrip(d.u)
+	}
+	type rt struct {
+		res Result
+		err error
+	}
+	ch := make(chan rt, 1)
+	go func() {
+		res, err := conn.RoundTrip(d.u)
+		ch <- rt{res, err}
+	}()
+	var hedgeC, deadlineC <-chan time.Time
+	if hedgeAfter > 0 && !d.hedge {
+		t := time.NewTimer(hedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	if deadline > 0 {
+		t := time.NewTimer(deadline)
+		defer t.Stop()
+		deadlineC = t.C
 	}
 	for {
-		conn, err := dial()
+		select {
+		case r := <-ch:
+			return r.res, r.err
+		case <-hedgeC:
+			hedgeC = nil
+			select {
+			case c.hedgeReq <- d.u.ID:
+			default:
+			}
+		case <-deadlineC:
+			c.ctr.deadlineKills.Add(1)
+			return Result{}, fmt.Errorf("%w (%s)", errUnitDeadline, deadline)
+		}
+	}
+}
+
+// slotLoop owns one worker slot: it dials the group's transport, streams
+// dispatches through the connection, and redials on transport failure (or a
+// deadline kill, which poisons the connection). Every dispatch taken off the
+// work channel produces exactly one outcome — that invariant is what lets
+// run's accounting terminate.
+func (c *coordinator) slotLoop(slot int) {
+	// Pin this slot's preferred daemon so a fleet's slots spread over its
+	// addresses; start advances after every broken connection so a slot
+	// whose daemon keeps dying migrates to its fleet mates instead of
+	// burning the retry budget against one corpse.
+	start := slot
+	for {
+		conn, err := c.dialSlot(start)
 		if err != nil {
-			// Cannot reach any worker: burn one unit per attempt so the
-			// retry budget, not this loop, decides when to give up.
-			u, ok := <-c.work
+			// Cannot reach any worker: burn one dispatch per attempt so
+			// the retry budget, not this loop, decides when to give up.
+			d, ok := <-c.work
 			if !ok {
 				return
 			}
-			c.results <- Result{ID: u.ID, Err: fmt.Sprintf("dial worker: %v", err)}
+			if c.stopped.Load() {
+				continue
+			}
+			c.results <- outcome{res: Result{ID: d.u.ID, Err: fmt.Sprintf("dial worker: %v", err)}, hedge: d.hedge}
 			continue
 		}
 		broken := false
-		for u := range c.work {
-			res, err := conn.RoundTrip(u)
+		for d := range c.work {
+			if c.stopped.Load() {
+				continue
+			}
+			res, err := c.attempt(conn, d)
 			if err != nil {
-				c.results <- Result{ID: u.ID, Err: fmt.Sprintf("worker slot %d: %v", slot, err)}
+				c.noteConn(conn, false)
+				c.results <- outcome{res: Result{ID: d.u.ID, Err: fmt.Sprintf("worker slot %d: %v", slot, err)}, hedge: d.hedge}
 				broken = true
 				break
 			}
-			c.results <- res
+			c.noteConn(conn, true)
+			c.results <- outcome{res: res, hedge: d.hedge}
 		}
 		conn.Close()
 		if !broken {

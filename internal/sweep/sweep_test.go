@@ -96,8 +96,11 @@ func TestSweepMatchesMonolithicRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
-			t.Errorf("workers=%d: sweep stats %+v, want %+v", workers, got, want)
+		if got.Stats != want {
+			t.Errorf("workers=%d: sweep stats %+v, want %+v", workers, got.Stats, want)
+		}
+		if got.Units != len(plan.Shards) || got.Executed != len(plan.Shards) {
+			t.Errorf("workers=%d: report %+v, want %d units all executed", workers, got, len(plan.Shards))
 		}
 	}
 }
@@ -112,11 +115,11 @@ func TestSweepDeciderMatchesExactCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 	fc := collide.Count(n)
-	if got.Accepted != fc.Connected {
-		t.Errorf("sweep accepted %d, exact connected count is %d", got.Accepted, fc.Connected)
+	if got.Stats.Accepted != fc.Connected {
+		t.Errorf("sweep accepted %d, exact connected count is %d", got.Stats.Accepted, fc.Connected)
 	}
-	if got.Graphs != fc.All {
-		t.Errorf("sweep saw %d graphs, space has %d", got.Graphs, fc.All)
+	if got.Stats.Graphs != fc.All {
+		t.Errorf("sweep saw %d graphs, space has %d", got.Stats.Graphs, fc.All)
 	}
 }
 
@@ -135,8 +138,8 @@ func TestSweepSubprocessWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("subprocess sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("subprocess sweep stats %+v, want %+v", got.Stats, want)
 	}
 }
 
@@ -156,8 +159,8 @@ func TestSweepResumeSkipsCheckpointedUnits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Fatalf("checkpointed sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Fatalf("checkpointed sweep stats %+v, want %+v", got.Stats, want)
 	}
 	if c := resolveCount.Load(); c != units {
 		t.Fatalf("full run executed %d units, want %d", c, units)
@@ -185,11 +188,14 @@ func TestSweepResumeSkipsCheckpointedUnits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("resumed sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("resumed sweep stats %+v, want %+v", got.Stats, want)
 	}
 	if c := resolveCount.Load(); c != units-3 {
 		t.Errorf("resume executed %d units, want %d (3 checkpointed)", c, units-3)
+	}
+	if got.Restored != 3 || got.Executed != units-3 {
+		t.Errorf("resume report %+v, want 3 restored and %d executed", got, units-3)
 	}
 
 	// The resume must have trimmed the torn line before appending — a
@@ -201,8 +207,8 @@ func TestSweepResumeSkipsCheckpointedUnits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("second resume stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("second resume stats %+v, want %+v", got.Stats, want)
 	}
 	if c := resolveCount.Load(); c != 0 {
 		t.Errorf("second resume executed %d units, want 0 (all checkpointed after repair)", c)
@@ -214,11 +220,95 @@ func TestSweepResumeSkipsCheckpointedUnits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("no-op resume stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("no-op resume stats %+v, want %+v", got.Stats, want)
 	}
 	if c := resolveCount.Load(); c != 0 {
 		t.Errorf("no-op resume executed %d units, want 0", c)
+	}
+}
+
+// A garbled line in the middle of a manifest — disk trouble, an editor
+// mishap — must cost exactly the units whose records were damaged, not
+// every record after the bad line.
+func TestSweepManifestSkipsGarbledInteriorLine(t *testing.T) {
+	const n, units = 5, 8
+	dir := t.TempDir()
+	want := monolithic(t, "hash16", n, false)
+	plan := grayPlan(t, "hash16", n, units, false)
+	for i := range plan.Shards {
+		plan.Shards[i].Source.Kind = "counted-gray"
+	}
+	full := filepath.Join(dir, "full.manifest")
+	if _, err := Run(plan, Options{Workers: 2, Manifest: full}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) != units+1 {
+		t.Fatalf("manifest has %d lines, want header+%d", len(lines), units)
+	}
+	// Garble two interior records (not the header, not the last line).
+	lines[2] = "{{{ not json at all"
+	lines[5] = lines[5][:len(lines[5])/2]
+	garbled := filepath.Join(dir, "garbled.manifest")
+	if err := os.WriteFile(garbled, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resolveCount.Store(0)
+	got, err := Run(plan, Options{Workers: 2, Manifest: garbled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want {
+		t.Errorf("garbled-manifest sweep stats %+v, want %+v", got.Stats, want)
+	}
+	if c := resolveCount.Load(); c != 2 {
+		t.Errorf("resume executed %d units, want exactly the 2 garbled ones", c)
+	}
+	if got.Restored != units-2 {
+		t.Errorf("report %+v, want %d restored", got, units-2)
+	}
+}
+
+// A duplicated checkpoint record — two coordinators racing one manifest, a
+// replayed append after a partial fsync — must merge its unit once, never
+// twice: the exact-integer totals would make any double merge visible.
+func TestSweepManifestDuplicateRecordsMergeOnce(t *testing.T) {
+	const n, units = 5, 6
+	dir := t.TempDir()
+	want := monolithic(t, "hash16", n, false)
+	plan := grayPlan(t, "hash16", n, units, false)
+	full := filepath.Join(dir, "full.manifest")
+	if _, err := Run(plan, Options{Workers: 2, Manifest: full}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	// Duplicate every record, shuffled in wherever: delivery order and
+	// multiplicity must not matter.
+	dup := append([]string{}, lines...)
+	dup = append(dup, lines[1:]...)
+	dupPath := filepath.Join(dir, "dup.manifest")
+	if err := os.WriteFile(dupPath, []byte(strings.Join(dup, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(plan, Options{Workers: 2, Manifest: dupPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want {
+		t.Errorf("duplicate-record manifest stats %+v, want %+v", got.Stats, want)
+	}
+	if got.Restored != units || got.Executed != 0 {
+		t.Errorf("report %+v, want all %d units restored once", got, units)
 	}
 }
 
@@ -249,8 +339,11 @@ func TestSweepRetriesTransientFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("retried sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("retried sweep stats %+v, want %+v", got.Stats, want)
+	}
+	if got.Retries == 0 || got.Requeues == 0 {
+		t.Errorf("flaky sweep report %+v, want non-zero retries and requeues", got)
 	}
 }
 
@@ -360,16 +453,16 @@ func TestSplitCorpusCoverageAndSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("corpus sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("corpus sweep stats %+v, want %+v", got.Stats, want)
 	}
 	// Checkpoint-resumable like everything else.
 	got, err = Run(plan, Options{Workers: 3, Manifest: mfPath})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("resumed corpus sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("resumed corpus sweep stats %+v, want %+v", got.Stats, want)
 	}
 }
 
@@ -397,8 +490,8 @@ func TestSplitFamilyCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Graphs != 10 {
-		t.Errorf("family sweep ran %d graphs, want 10", st.Graphs)
+	if st.Stats.Graphs != 10 {
+		t.Errorf("family sweep ran %d graphs, want 10", st.Stats.Graphs)
 	}
 }
 

@@ -60,7 +60,13 @@ type lineConn struct {
 	enc     *json.Encoder
 	in      *bufio.Scanner
 	closeFn func() error
+	addr    string // daemon endpoint, TCP only; "" elsewhere
 }
+
+// Endpoint names the daemon address this connection reaches ("" for pipe
+// transports). The coordinator feeds it to the fleet's circuit breaker so
+// unit-level failures count against the endpoint, not just dial failures.
+func (c *lineConn) Endpoint() string { return c.addr }
 
 func newLineConn(r io.Reader, w io.Writer) *lineConn {
 	sc := bufio.NewScanner(r)
@@ -165,10 +171,14 @@ func (s Subprocess) Dial() (Conn, error) {
 }
 
 // TCP dials `refereesim serve` daemons. Each Dial walks the address list
-// round-robin from Start, with exponential backoff between full cycles, so a
-// killed daemon fails over to its fleet mates and a restarted one is picked
-// up on the next redial — connection loss maps onto the coordinator's
-// existing retry path instead of wedging a slot.
+// round-robin from Start, with capped exponential backoff between full
+// cycles — jittered deterministically from Seed so fleet-mates don't redial
+// in lockstep after a daemon restart — so a killed daemon fails over to its
+// fleet mates and a restarted one is picked up on the next redial:
+// connection loss maps onto the coordinator's existing retry path instead of
+// wedging a slot. An optional per-endpoint Breaker quarantines addresses
+// that keep failing; when every address is quarantined at once the walk
+// force-probes them all anyway (quarantine degrades, it never deadlocks).
 type TCP struct {
 	// Addrs lists the daemon endpoints ("host:port"). Must not be empty.
 	Addrs []string
@@ -180,15 +190,48 @@ type TCP struct {
 	Cycles int
 	// DialTimeout bounds one connection attempt (default 5s).
 	DialTimeout time.Duration
-	// Backoff is the initial delay between passes, doubling per pass
-	// (default 100ms).
+	// Backoff is the base delay between passes (default 100ms). The delay
+	// doubles per pass up to MaxBackoff and is multiplied by a
+	// deterministic jitter in [0.5, 1.5) derived from Seed, Start and the
+	// pass number.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential growth (default 2s).
+	MaxBackoff time.Duration
+	// Seed drives the deterministic backoff jitter.
+	Seed int64
+	// Breaker, when non-nil, is consulted per address: quarantined
+	// endpoints are skipped while healthy ones remain, dial failures and
+	// successes are recorded.
+	Breaker *Breaker
 	// Log, when non-nil, receives failover notices.
 	Log io.Writer
 }
 
 // Name implements Transport.
 func (t *TCP) Name() string { return fmt.Sprintf("tcp %v", t.Addrs) }
+
+// pinned implements slotPinner: a copy preferring the slot's address, with
+// the Breaker (a pointer) still shared fleet-wide.
+func (t *TCP) pinned(slot int) Transport {
+	p := *t
+	p.Start = slot
+	return &p
+}
+
+// jitterBackoff is the delay before pass `cycle` (≥ 1): base·2^(cycle-1)
+// capped at max, scaled by a deterministic jitter in [0.5, 1.5) so
+// fleet-mates redialing after the same daemon restart spread out instead of
+// thundering back in lockstep — reproducibly, because the jitter is a hash
+// of (seed, slot, cycle), not a global RNG draw.
+func jitterBackoff(base, max time.Duration, seed int64, slot, cycle int) time.Duration {
+	d := base << uint(cycle-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	h := mix64(uint64(seed)*0x9e3779b97f4a7c15 ^ mix64(uint64(slot)+1) ^ uint64(cycle))
+	frac := float64(h>>11) / (1 << 53)
+	return time.Duration(float64(d) * (0.5 + frac))
+}
 
 // Dial implements Transport: connect, then handshake, verifying that the
 // daemon speaks this wire version and links the same registries.
@@ -205,21 +248,42 @@ func (t *TCP) Dial() (Conn, error) {
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	maxBackoff := t.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
 	var lastErr error
 	for cycle := 0; cycle < cycles; cycle++ {
 		if cycle > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
+			time.Sleep(jitterBackoff(backoff, maxBackoff, t.Seed, t.Start, cycle))
 		}
-		for i := range t.Addrs {
-			addr := t.Addrs[(t.Start+i)%len(t.Addrs)]
-			conn, err := t.dialOne(addr, timeout)
-			if err == nil {
-				return conn, nil
+		tried := 0
+		for pass := 0; pass < 2; pass++ {
+			for i := range t.Addrs {
+				addr := t.Addrs[(t.Start+i)%len(t.Addrs)]
+				if pass == 0 && !t.Breaker.Allow(addr) {
+					continue
+				}
+				tried++
+				conn, err := t.dialOne(addr, timeout)
+				if err == nil {
+					t.Breaker.Success(addr)
+					return conn, nil
+				}
+				t.Breaker.Failure(addr)
+				lastErr = fmt.Errorf("dial %s: %w", addr, err)
+				if t.Log != nil {
+					fmt.Fprintf(t.Log, "sweep: %v\n", lastErr)
+				}
 			}
-			lastErr = fmt.Errorf("dial %s: %w", addr, err)
+			if tried > 0 {
+				break
+			}
+			// Every endpoint is quarantined: force-probe the whole list
+			// rather than wedging the slot — a wrong quarantine must cost
+			// latency, never liveness.
 			if t.Log != nil {
-				fmt.Fprintf(t.Log, "sweep: %v\n", lastErr)
+				fmt.Fprintf(t.Log, "sweep: all endpoints quarantined %v, force-probing\n", t.Breaker.Quarantined())
 			}
 		}
 	}
@@ -233,6 +297,7 @@ func (t *TCP) dialOne(addr string, timeout time.Duration) (Conn, error) {
 	}
 	conn := newLineConn(nc, nc)
 	conn.closeFn = nc.Close
+	conn.addr = addr
 	// Bound the handshake, not the sweep: a unit may legitimately run for
 	// minutes, so the deadline is lifted once the daemon has identified
 	// itself.

@@ -35,8 +35,8 @@ func TestSweepTCPMatchesMonolithic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("TCP sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("TCP sweep stats %+v, want %+v", got.Stats, want)
 	}
 }
 
@@ -61,8 +61,8 @@ func TestSweepFleetsMatchMonolithicAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("fleet sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("fleet sweep stats %+v, want %+v", got.Stats, want)
 	}
 	if c := resolveCount.Load(); c != units {
 		t.Errorf("fleet sweep executed %d units, want %d", c, units)
@@ -75,11 +75,14 @@ func TestSweepFleetsMatchMonolithicAndResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("resumed fleet sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("resumed fleet sweep stats %+v, want %+v", got.Stats, want)
 	}
 	if c := resolveCount.Load(); c != 0 {
 		t.Errorf("resume executed %d units, want 0", c)
+	}
+	if got.Restored != units || got.Executed != 0 {
+		t.Errorf("resume report %+v, want all %d units restored", got, units)
 	}
 }
 
@@ -139,8 +142,11 @@ func TestSweepTCPDroppedConnRetries(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("dropped-conn sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("dropped-conn sweep stats %+v, want %+v", got.Stats, want)
+	}
+	if got.Retries == 0 {
+		t.Errorf("dropped-conn report %+v, want retries charged", got)
 	}
 }
 
@@ -165,8 +171,8 @@ func TestSweepTCPDeadAddressFailsOver(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
-		t.Errorf("failover sweep stats %+v, want %+v", got, want)
+	if got.Stats != want {
+		t.Errorf("failover sweep stats %+v, want %+v", got.Stats, want)
 	}
 }
 
@@ -331,17 +337,17 @@ func TestPartitionUnitsCoverage(t *testing.T) {
 // Transport beats Dial beats Command beats in-process, and Dial defaults the
 // slot count to one per address.
 func TestOptionsTransportPrecedence(t *testing.T) {
-	if tr, w := (Options{}).transport(); w != 1 {
+	if tr, w, _ := (Options{}).transport(); w != 1 {
 		t.Errorf("default: %d workers", w)
 	} else if _, ok := tr.(InProcess); !ok {
 		t.Errorf("default transport %T, want InProcess", tr)
 	}
-	if tr, _ := (Options{Command: []string{"worker"}}).transport(); tr == nil {
+	if tr, _, _ := (Options{Command: []string{"worker"}}).transport(); tr == nil {
 		t.Error("command transport nil")
 	} else if _, ok := tr.(Subprocess); !ok {
 		t.Errorf("command transport %T, want Subprocess", tr)
 	}
-	tr, w := (Options{Command: []string{"worker"}, Dial: []string{"a:1", "b:1", "c:1"}}).transport()
+	tr, w, br := (Options{Command: []string{"worker"}, Dial: []string{"a:1", "b:1", "c:1"}}).transport()
 	tcp, ok := tr.(*TCP)
 	if !ok {
 		t.Fatalf("dial transport %T, want *TCP", tr)
@@ -349,11 +355,17 @@ func TestOptionsTransportPrecedence(t *testing.T) {
 	if len(tcp.Addrs) != 3 || w != 3 {
 		t.Errorf("dial transport addrs=%v workers=%d, want 3 slots over 3 addrs", tcp.Addrs, w)
 	}
-	if _, w := (Options{Workers: 5, Dial: []string{"a:1"}}).transport(); w != 5 {
+	if br == nil || tcp.Breaker != br {
+		t.Error("dial transport did not receive the endpoint breaker")
+	}
+	if _, w, _ := (Options{Workers: 5, Dial: []string{"a:1"}}).transport(); w != 5 {
 		t.Errorf("explicit workers with dial: %d, want 5", w)
 	}
+	if _, _, br := (Options{Dial: []string{"a:1"}, BreakerThreshold: -1}).transport(); br != nil {
+		t.Error("negative BreakerThreshold did not disable the breaker")
+	}
 	custom := InProcess{}
-	if tr, _ := (Options{Transport: custom, Dial: []string{"a:1"}}).transport(); tr != Transport(custom) {
+	if tr, _, _ := (Options{Transport: custom, Dial: []string{"a:1"}}).transport(); tr != Transport(custom) {
 		t.Errorf("explicit Transport not honored: %T", tr)
 	}
 }
