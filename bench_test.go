@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"refereenet/internal/bits"
+	"refereenet/internal/canon"
 	"refereenet/internal/collide"
 	"refereenet/internal/congest"
 	"refereenet/internal/core"
@@ -594,5 +595,91 @@ func BenchmarkSketchBipartiteness(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// --- Isomorphism-quotient plane (DESIGN.md sweep experiments, PR 7) ---
+
+// BenchmarkAdjacencyKey measures the labelled-graph key codec on a mid-size
+// generated graph — the hot path of the conformance stream digests and the
+// canon differential tests.
+func BenchmarkAdjacencyKey(b *testing.B) {
+	g := gen.Gnp(gen.NewRand(3), 50, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if len(g.AdjacencyKey()) < 2 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+// BenchmarkCanonicalForm measures one individualization–refinement
+// canonization at sweep scale (n = 8, random masks): the per-class cost the
+// quotient plane pays once per isomorphism class instead of once per
+// labelled graph.
+func BenchmarkCanonicalForm(b *testing.B) {
+	rng := gen.NewRand(5)
+	const n = 8
+	masks := make([]uint64, 1024)
+	for i := range masks {
+		masks[i] = rng.Uint64() & (1<<28 - 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		canon.MustCanonical(n, masks[i%len(masks)])
+	}
+}
+
+// BenchmarkSweepCanonVsGray is the quotient plane's headline number: the
+// canon side sweeps ALL 2^28 labelled n = 8 graphs by evaluating only the
+// 12,346 class representatives (weighted), while the gray side is charged a
+// 2^20-rank window — 1/256 of the space — because the full labelled sweep
+// does not fit in a benchmark iteration. Per-graph rates are comparable, so
+// wall-clock speedup for full coverage = 256 × (gray ns/op) / (canon ns/op);
+// the evals/op metric makes the 2^28/12346 ≈ 21,743× evaluation reduction
+// visible directly in the bench output.
+func BenchmarkSweepCanonVsGray(b *testing.B) {
+	shard := engine.ShardSpec{
+		Protocol: "oracle-conn",
+		Sched:    "serial",
+		Config:   engine.Config{N: 8},
+		Decide:   true,
+	}
+	total, err := canon.ClassCount(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("canon/full-2^28", func(b *testing.B) {
+		plan, err := sweep.SplitClasses(shard, 8, 0, 0, total, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			rep, err := sweep.Run(plan, sweep.Options{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Stats.Graphs != 1<<28 {
+				b.Fatalf("reconstituted %d labelled graphs, want 2^28", rep.Stats.Graphs)
+			}
+		}
+		b.ReportMetric(float64(total), "evals/op")
+	})
+	b.Run("gray/window-2^20", func(b *testing.B) {
+		plan, err := sweep.SplitGrayRanks(shard, 8, 0, 1<<20, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			rep, err := sweep.Run(plan, sweep.Options{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Stats.Graphs != 1<<20 {
+				b.Fatalf("swept %d graphs, want 2^20", rep.Stats.Graphs)
+			}
+		}
+		b.ReportMetric(float64(uint64(1)<<20), "evals/op")
 	})
 }

@@ -25,15 +25,21 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"refereenet/internal/stats"
 )
 
-// Result is one parsed benchmark line.
+// Result is one benchmark's aggregated samples. With -count > 1 the same
+// benchmark runs repeatedly; NsPerOp is the mean over SamplesNs, and the raw
+// samples persist in the baseline so the *next* run can test significance
+// against them.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
+	Name        string    `json:"name"`
+	Iterations  int64     `json:"iterations"`
+	NsPerOp     float64   `json:"ns_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	SamplesNs   []float64 `json:"samples_ns,omitempty"`
 }
 
 // Report is the persisted baseline file.
@@ -48,7 +54,7 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
-const defaultBench = "BenchmarkEnumerate|BenchmarkCountFamilies|BenchmarkCollisionSearch|BenchmarkLocalPhaseModes|BenchmarkGraphAlgorithms|BenchmarkRunBatch|BenchmarkSweepLocal|BenchmarkSweepTCP|BenchmarkPowerSumAccumulator"
+const defaultBench = "BenchmarkEnumerate|BenchmarkCountFamilies|BenchmarkCollisionSearch|BenchmarkLocalPhaseModes|BenchmarkGraphAlgorithms|BenchmarkRunBatch|BenchmarkSweepLocal|BenchmarkSweepTCP|BenchmarkPowerSumAccumulator|BenchmarkAdjacencyKey|BenchmarkCanonicalForm|BenchmarkSweepCanonVsGray"
 
 // benchLine matches one line of `go test -bench -benchmem` output, e.g.
 // "BenchmarkEnumerate/n=6-8  370  3212515 ns/op  0 B/op  0 allocs/op".
@@ -61,9 +67,10 @@ func main() {
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	dry := flag.Bool("n", false, "run and compare but do not write a new baseline")
 	force := flag.Bool("force", false, "overwrite an existing baseline for today")
+	count := flag.Int("count", 5, "repetitions per benchmark (go test -count); ≥ 2 enables Welch's t-test significance flags on the speedup ratios")
 	flag.Parse()
 
-	report, raw, err := runSuite(*bench, *benchtime, *pkg)
+	report, raw, err := runSuite(*bench, *benchtime, *pkg, *count)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n%s", err, raw)
 		os.Exit(1)
@@ -94,10 +101,15 @@ func main() {
 	fmt.Printf("\nwrote %s (%d benchmarks)\n", out, len(report.Results))
 }
 
-// runSuite shells out to go test and parses the benchmark output.
-func runSuite(bench, benchtime, pkg string) (*Report, string, error) {
+// runSuite shells out to go test and parses the benchmark output. With
+// count > 1 every benchmark appears count times; the repeated lines fold
+// into one Result per name, samples preserved for the significance test.
+func runSuite(bench, benchtime, pkg string, count int) (*Report, string, error) {
+	if count < 1 {
+		count = 1
+	}
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchmem", "-benchtime", benchtime, pkg)
+		"-benchmem", "-benchtime", benchtime, "-count", strconv.Itoa(count), pkg)
 	raw, err := cmd.CombinedOutput()
 	out := string(raw)
 	if err != nil {
@@ -111,6 +123,7 @@ func runSuite(bench, benchtime, pkg string) (*Report, string, error) {
 		Bench:     bench,
 		BenchTime: benchtime,
 	}
+	index := map[string]int{}
 	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimSpace(line)
 		if cpu, ok := strings.CutPrefix(line, "cpu:"); ok {
@@ -121,17 +134,35 @@ func runSuite(bench, benchtime, pkg string) (*Report, string, error) {
 		if m == nil {
 			continue
 		}
-		res := Result{Name: m[1]}
-		res.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
-		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		i, ok := index[m[1]]
+		if !ok {
+			i = len(r.Results)
+			index[m[1]] = i
+			r.Results = append(r.Results, Result{Name: m[1]})
+		}
+		res := &r.Results[i]
+		res.Iterations = iters
+		res.SamplesNs = append(res.SamplesNs, ns)
 		if m[4] != "" {
 			res.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
 			res.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
 		}
-		r.Results = append(r.Results, res)
 	}
 	if len(r.Results) == 0 {
 		return nil, out, fmt.Errorf("no benchmark lines matched %q", bench)
+	}
+	for i := range r.Results {
+		res := &r.Results[i]
+		var sum float64
+		for _, s := range res.SamplesNs {
+			sum += s
+		}
+		res.NsPerOp = sum / float64(len(res.SamplesNs))
+		if len(res.SamplesNs) == 1 {
+			res.SamplesNs = nil // a single sample carries no extra information
+		}
 	}
 	return r, out, nil
 }
@@ -186,7 +217,25 @@ func printComparison(cur, prev *Report, prevPath string) {
 			default:
 				delta = "~unchanged"
 			}
+			delta += " " + significance(r.SamplesNs, p.SamplesNs)
 		}
 		fmt.Printf("%-*s  %14.0f  %12d  %10d  %s\n", w, r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, delta)
 	}
+}
+
+// significance renders the Welch's t-test verdict on two sample sets. A
+// ratio without a significance flag is just noise wearing a number: the
+// baseline must have been recorded with -count ≥ 2 for the test to run.
+func significance(cur, prev []float64) string {
+	if len(cur) < 2 || len(prev) < 2 {
+		return "(no samples for t-test)"
+	}
+	r, err := stats.WelchTTest(cur, prev)
+	if err != nil {
+		return "(t-test: " + err.Error() + ")"
+	}
+	if r.Significant(0.05) {
+		return fmt.Sprintf("(p=%.3g, significant)", r.P)
+	}
+	return fmt.Sprintf("(p=%.3g, NOT significant)", r.P)
 }

@@ -8,6 +8,13 @@
 //	graphgen -gen apollonian -n 20 -format dot
 //	graphgen -gen fig1gadget -format dot              # the paper's Figure 1
 //	graphgen -gen gnp -n 10 -count 5000 -emit gnp10.corpus
+//	graphgen -canon -n 8 -emit n8classes.corpus       # one rep per iso class
+//
+// -canon writes the full isomorphism-class table of internal/canon — one
+// canonical representative per class, ascending canonical mask — so class
+// corpora flow through the existing corpus/manifest/fleet machinery. Note
+// that "file"-kind sweeps over such a corpus count each representative ONCE
+// (unweighted); for labelled totals use `refereesim sweep -source canon`.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"math/rand"
 	"os"
 
+	"refereenet/internal/canon"
 	"refereenet/internal/core"
 	"refereenet/internal/corpus"
 	"refereenet/internal/gen"
@@ -34,7 +42,27 @@ func main() {
 	format := flag.String("format", "edges", "output: edges|dot")
 	emit := flag.String("emit", "", "write a word-packed edge-mask corpus to this path instead of printing (requires C(n,2) ≤ 64, i.e. n ≤ 11)")
 	count := flag.Int("count", 1, "graphs to draw into the corpus in -emit mode (one RNG stream, so each draw differs for random families)")
+	emitCanon := flag.Bool("canon", false, "emit the n-vertex isomorphism-class table (one canonical representative per class) instead of a generated family; requires -emit")
 	flag.Parse()
+
+	if *emitCanon {
+		if *emit == "" {
+			log.Fatal("-canon writes a class-table corpus and requires -emit")
+		}
+		classes, err := canon.Classes(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		masks := make([]uint64, len(classes))
+		for i, c := range classes {
+			masks[i] = c.Mask
+		}
+		if err := corpus.WriteFile(*emit, *n, masks); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s: %d isomorphism classes, n=%d\n", *emit, len(masks), *n)
+		return
+	}
 
 	rng := gen.NewRand(*seed)
 	if *emit != "" {

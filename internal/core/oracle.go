@@ -108,6 +108,13 @@ func NewConnectivityOracle() *OracleDecider {
 	return &OracleDecider{Label: "connected", Pred: (*graph.Graph).IsConnected}
 }
 
+// NewForestOracle decides "G is a forest". ForestProtocol reconstructs
+// forests frugally but is not a Decider; this oracle gives sweeps a yes/no
+// acyclicity tally (labelled totals cross-check against OEIS A001858).
+func NewForestOracle() *OracleDecider {
+	return &OracleDecider{Label: "forest", Pred: (*graph.Graph).IsForest}
+}
+
 // OracleReconstructor ships adjacency rows and returns the graph itself —
 // the trivial non-frugal reconstructor, Lemma 1's upper-bound foil.
 type OracleReconstructor struct{}

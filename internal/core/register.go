@@ -56,6 +56,11 @@ func init() {
 		New:         func(engine.Config) engine.Local { return NewConnectivityOracle() },
 	})
 	engine.Register(engine.Registration{
+		Name:        "oracle-forest",
+		Description: "non-frugal oracle: adjacency rows, referee decides 'is a forest' (A001858 cross-check)",
+		New:         func(engine.Config) engine.Local { return NewForestOracle() },
+	})
+	engine.Register(engine.Registration{
 		Name:        "oracle-reconstruct",
 		Description: "non-frugal oracle: adjacency rows, referee returns G itself (Lemma 1 foil)",
 		New:         func(engine.Config) engine.Local { return OracleReconstructor{} },

@@ -26,6 +26,19 @@ type Volatile interface {
 	Volatile() bool
 }
 
+// Weighted marks sources whose graphs stand for more than one graph each —
+// the isomorphism-quotient plane streams one representative per class and
+// Weight reports the labelled-orbit size of the graph most recently returned
+// by Next. The batch engine multiplies every per-graph tally (Graphs,
+// TotalBits, Accepted, Rejected, Errors) by the weight, so merged stats
+// reconstitute exact labelled totals; MaxBits and MaxN are per-graph maxima
+// and stay unweighted. Because Weight is read after Next — a stateful pair —
+// weighted sources run on one goroutine, like Volatile ones; split a
+// weighted stream into per-shard sources to parallelize it.
+type Weighted interface {
+	Weight() uint64
+}
+
 // Erring is implemented by sources that can fail mid-stream — a disk corpus
 // truncated or corrupted underneath the sweep. Source.Next has no error
 // channel, so such sources end the stream (return nil) and park the failure
@@ -257,10 +270,11 @@ func (b *Batch) worker(sc *batchScratch) {
 }
 
 // Run streams src through the protocol and returns aggregated stats. With
-// one worker — or a Volatile source, whose reused graph cannot be shared —
-// the whole run happens on the calling goroutine.
+// one worker — or a Volatile source, whose reused graph cannot be shared, or
+// a Weighted one, whose Next/Weight pair cannot straddle goroutines — the
+// whole run happens on the calling goroutine.
 func (b *Batch) Run(src Source) BatchStats {
-	if b.workers == 1 || isVolatile(src) {
+	if b.workers == 1 || isVolatile(src) || isWeighted(src) {
 		b.inline.src = src
 		b.runShard(&b.inline, b.sc)
 		b.inline.src = nil
@@ -333,15 +347,22 @@ func (b *Batch) dispatch(shards []batchShard) BatchStats {
 
 func (b *Batch) runShard(sh *batchShard, sc *batchScratch) {
 	sh.stats = BatchStats{}
+	w, _ := sh.src.(Weighted)
 	for g := sh.src.Next(); g != nil; g = sh.src.Next() {
-		b.runGraph(g, &sh.stats, sc)
+		weight := uint64(1)
+		if w != nil {
+			weight = w.Weight()
+		}
+		b.runGraph(g, weight, &sh.stats, sc)
 	}
 }
 
 // runGraph is the batch hot loop: local phase into per-worker scratch, bit
 // accounting, optional referee call. For BufferedLocal protocols the
-// messages land in a reused byte arena — zero allocations per graph.
-func (b *Batch) runGraph(g *graph.Graph, st *BatchStats, sc *batchScratch) {
+// messages land in a reused byte arena — zero allocations per graph. The
+// weight (1 for plain sources, the labelled-orbit size for Weighted ones)
+// scales every counter; maxima stay per-graph.
+func (b *Batch) runGraph(g *graph.Graph, weight uint64, st *BatchStats, sc *batchScratch) {
 	n := g.N()
 	if cap(sc.msgs) < n {
 		sc.msgs = make([]bits.String, n)
@@ -365,25 +386,27 @@ func (b *Batch) runGraph(g *graph.Graph, st *BatchStats, sc *batchScratch) {
 		sc.nbrs = fillRange(g, b.p, msgs, 1, n, sc.nbrs)
 	}
 
-	st.Graphs++
+	st.Graphs += weight
 	if n > st.MaxN {
 		st.MaxN = n
 	}
+	var graphBits uint64
 	for _, m := range msgs {
-		st.TotalBits += uint64(m.Len())
+		graphBits += uint64(m.Len())
 		if m.Len() > st.MaxBits {
 			st.MaxBits = m.Len()
 		}
 	}
+	st.TotalBits += weight * graphBits
 	if b.decider != nil {
 		ans, err := b.decider.Decide(n, msgs)
 		switch {
 		case err != nil:
-			st.Errors++
+			st.Errors += weight
 		case ans:
-			st.Accepted++
+			st.Accepted += weight
 		default:
-			st.Rejected++
+			st.Rejected += weight
 		}
 	}
 	if b.opts.OnTranscript != nil {
@@ -404,4 +427,9 @@ func RunBatch(p Local, src Source, opts BatchOptions) BatchStats {
 func isVolatile(src Source) bool {
 	v, ok := src.(Volatile)
 	return ok && v.Volatile()
+}
+
+func isWeighted(src Source) bool {
+	_, ok := src.(Weighted)
+	return ok
 }

@@ -164,6 +164,20 @@ func RegisterSourceSplitter(kind string, split SourceSplitter) {
 	splitterRegistry.byKind[kind] = split
 }
 
+// SourceSplitterKinds returns every source kind with a registered splitter,
+// sorted. The conformance suite diffs this against its covered-kind list so a
+// splitter cannot land without round-trip coverage.
+func SourceSplitterKinds() []string {
+	splitterRegistry.Lock()
+	defer splitterRegistry.Unlock()
+	kinds := make([]string, 0, len(splitterRegistry.byKind))
+	for kind := range splitterRegistry.byKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
 // SplitShard cuts one shard spec into at most parts sub-shards covering the
 // same stream, by splitting its source through the kind's registered
 // splitter. Specs whose kind has no splitter, that decline to split, or with

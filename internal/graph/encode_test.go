@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// legacyAdjacencyKey is the pre-optimisation implementation (edge slice +
+// sort + Fprintf), kept as the format oracle: AdjacencyKey's output is a map
+// key in differential tests and must never drift.
+func legacyAdjacencyKey(g *Graph) string {
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:", g.n)
+	for _, e := range edges {
+		fmt.Fprintf(&b, "%d-%d;", e[0], e[1])
+	}
+	return b.String()
+}
+
+func TestAdjacencyKeyMatchesLegacyFormat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		// Sizes straddling the 1- and multi-digit label boundary.
+		n := 1 + rng.Intn(120)
+		g := New(n)
+		for u := 1; u <= n; u++ {
+			for v := u + 1; v <= n; v++ {
+				if rng.Intn(4) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		if got, want := g.AdjacencyKey(), legacyAdjacencyKey(g); got != want {
+			t.Fatalf("n=%d: AdjacencyKey drifted:\n got %q\nwant %q", n, got, want)
+		}
+	}
+	if got := New(0).AdjacencyKey(); got != "0:" {
+		t.Errorf("empty graph key = %q, want \"0:\"", got)
+	}
+}
+
+func BenchmarkAdjacencyKey(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := New(50)
+	for u := 1; u <= 50; u++ {
+		for v := u + 1; v <= 50; v++ {
+			if rng.Intn(3) == 0 {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if g.AdjacencyKey() == "" {
+			b.Fatal("empty key")
+		}
+	}
+}

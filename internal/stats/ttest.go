@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult is the outcome of a two-sample Welch's t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value under the t distribution
+}
+
+// Significant reports whether the difference in means clears the given
+// significance level (e.g. 0.05).
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WelchTTest runs Welch's unequal-variance t-test on two samples: the null
+// hypothesis is equal means, with no assumption that the variances match —
+// the right form for benchmark timings, where the before/after runs have
+// different noise profiles. Benchreport uses it to flag which speedup ratios
+// are statistically real; a ratio whose p-value cannot clear α is how perf
+// regressions (and phantom wins) slip into the trajectory.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, fmt.Errorf("stats: Welch's t-test needs ≥ 2 samples per side (got %d, %d)", len(a), len(b))
+	}
+	ma, va := meanVariance(a)
+	mb, vb := meanVariance(b)
+	sa := va / float64(len(a))
+	sb := vb / float64(len(b))
+	se := sa + sb
+	if se == 0 {
+		// Zero variance on both sides: identical constants. Equal means →
+		// p = 1; different means → the difference is exact, p = 0.
+		if ma == mb {
+			return TTestResult{T: 0, DF: float64(len(a) + len(b) - 2), P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: float64(len(a) + len(b) - 2), P: 0}, nil
+	}
+	t := (ma - mb) / math.Sqrt(se)
+	// Welch–Satterthwaite effective degrees of freedom.
+	df := se * se / (sa*sa/float64(len(a)-1) + sb*sb/float64(len(b)-1))
+	return TTestResult{T: t, DF: df, P: tTwoSidedP(t, df)}, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// meanVariance returns the sample mean and unbiased sample variance.
+func meanVariance(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+// tTwoSidedP is the two-sided p-value of a t statistic with df degrees of
+// freedom: P(|T| ≥ |t|) = I_{df/(df+t²)}(df/2, 1/2), the regularized
+// incomplete beta identity for the t distribution's tail.
+func tTwoSidedP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	return regIncBeta(df/2, 0.5, df/(df+t*t))
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b) via
+// the standard continued-fraction expansion (Lentz's method), using the
+// symmetry I_x(a,b) = 1 - I_{1-x}(b,a) to stay in the rapidly-converging
+// region x < (a+1)/(a+b+2).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// ln of the prefactor x^a (1-x)^b / (a·B(a,b)).
+	lnPre := a*math.Log(x) + b*math.Log(1-x) + lnGamma(a+b) - lnGamma(a) - lnGamma(b)
+	if x < (a+1)/(a+b+2) {
+		return math.Exp(lnPre) * betaCF(a, b, x) / a
+	}
+	return 1 - math.Exp(lnPre)*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction of the incomplete beta function by
+// the modified Lentz algorithm.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		tiny    = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + 2*fm) * (a + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + 2*fm) * (qap + 2*fm))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lnGamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

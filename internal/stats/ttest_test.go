@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelchTTestKnownValue(t *testing.T) {
+	// Welch's classic worked example (Welch 1947 / standard textbook data).
+	a := []float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4}
+	b := []float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.1}
+	r, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference values computed independently: t and df by direct formula,
+	// p by Simpson integration of the t-density tail (400k panels).
+	if math.Abs(r.T-(-2.83530888071154)) > 1e-9 {
+		t.Errorf("t = %v, want -2.83530888...", r.T)
+	}
+	if math.Abs(r.DF-27.8805960756845) > 1e-6 {
+		t.Errorf("df = %v, want 27.88059...", r.DF)
+	}
+	if math.Abs(r.P-0.00842543672560024) > 1e-9 {
+		t.Errorf("p = %v, want 0.00842543...", r.P)
+	}
+	if !r.Significant(0.05) {
+		t.Error("p≈0.0084 must be significant at α=0.05")
+	}
+}
+
+func TestWelchTTestIdenticalSamples(t *testing.T) {
+	a := []float64{5, 6, 7, 8}
+	r, err := WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T != 0 || r.P < 0.999 {
+		t.Errorf("identical samples: t=%v p=%v, want t=0 p=1", r.T, r.P)
+	}
+	if r.Significant(0.05) {
+		t.Error("identical samples must not be significant")
+	}
+}
+
+func TestWelchTTestZeroVariance(t *testing.T) {
+	r, err := WelchTTest([]float64{3, 3, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P != 0 {
+		t.Errorf("distinct constants: p=%v, want 0", r.P)
+	}
+	if same, err := WelchTTest([]float64{3, 3}, []float64{3, 3}); err != nil || same.P != 1 {
+		t.Errorf("equal constants: p=%v err=%v, want p=1", same.P, err)
+	}
+}
+
+func TestWelchTTestTooFewSamples(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{2, 3}); err == nil {
+		t.Error("want error for a single-sample side")
+	}
+}
+
+func TestRegIncBetaAgainstClosedForms(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.35, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// I_x(2,2) = x²(3-2x).
+	for _, x := range []float64{0.2, 0.5, 0.8} {
+		want := x * x * (3 - 2*x)
+		if got := regIncBeta(2, 2, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("I_%v(2,2) = %v, want %v", x, got, want)
+		}
+	}
+	// df=1 t-distribution is Cauchy: two-sided p of t=1 is 0.5.
+	if got := tTwoSidedP(1, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Cauchy two-sided p(t=1) = %v, want 0.5", got)
+	}
+}

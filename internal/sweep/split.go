@@ -35,6 +35,30 @@ func SplitGrayRanks(shard engine.ShardSpec, n int, lo, hi uint64, units int) (en
 	return plan, nil
 }
 
+// SplitClasses is the plan stage for isomorphism-quotient sweeps: cover the
+// class indices [lo, hi) of the n-vertex canon table (internal/canon, one
+// representative per isomorphism class in ascending canonical-mask order)
+// with units contiguous index-range shards. lo = hi = 0 means the full
+// table; total is the table size (canon.ClassCount) and is resolved by the
+// caller so this package stays canon-free. Workers weight every tally by the
+// class's labelled-orbit size, so merging the shards reconstitutes the exact
+// labelled totals of a gray sweep over all 2^C(n,2) graphs.
+func SplitClasses(shard engine.ShardSpec, n int, lo, hi, total uint64, units int) (engine.Plan, error) {
+	if lo == 0 && hi == 0 {
+		hi = total
+	}
+	if hi < lo || hi > total {
+		return engine.Plan{}, fmt.Errorf("sweep: class range [%d,%d) out of bounds (%d classes at n=%d)", lo, hi, total, n)
+	}
+	var plan engine.Plan
+	for _, r := range engine.SplitRange(lo, hi, units) {
+		s := shard
+		s.Source = engine.SourceSpec{Kind: "canon", N: n, Lo: r[0], Hi: r[1]}
+		plan.Shards = append(plan.Shards, s)
+	}
+	return plan, nil
+}
+
 // SplitCorpus is the plan stage for disk corpora: cover the records
 // [0, count) of the word-packed edge-mask file at path (see internal/corpus)
 // with units contiguous record-range shards. n and count come from the
