@@ -216,6 +216,66 @@ func BenchmarkRunBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkVectorBatch is the bitsliced path's ladder: each vectorized
+// protocol over the same gray plane twice — the forced-scalar loop
+// (NoVector) versus the lane-parallel block path — so every scalar/vector
+// pair is measured in one run and cmd/benchreport can attach a Welch t-test
+// to the speedup claim. Planes: the full n = 6 space (2^15 ranks) and an
+// n = 9 window of 2^18 ranks at rank 2^35, the production plane's shape.
+// The ns/graph metric is the cross-plane comparable unit.
+func BenchmarkVectorBatch(b *testing.B) {
+	protocols := []struct {
+		name   string
+		decide bool
+	}{
+		{"degree", false},
+		{"mod3", false},
+		{"mod7", false},
+		{"hash16", false},
+		{"oracle-triangle", true},
+		{"oracle-conn", true},
+	}
+	planes := []struct {
+		label  string
+		n      int
+		lo, hi uint64
+	}{
+		{"n=6", 6, 0, 1 << 15},
+		{"n=9", 9, 1 << 35, 1<<35 + 1<<18},
+	}
+	for _, pr := range protocols {
+		for _, pl := range planes {
+			graphs := pl.hi - pl.lo
+			for _, mode := range []string{"scalar", "vector"} {
+				b.Run(fmt.Sprintf("%s/%s/%s", pr.name, pl.label, mode), func(b *testing.B) {
+					p, ok := engine.New(pr.name, engine.Config{N: pl.n})
+					if !ok {
+						b.Fatalf("%s not registered", pr.name)
+					}
+					bt := engine.NewBatch(p, engine.BatchOptions{
+						Workers: 1, Decide: pr.decide, MaxN: pl.n, NoVector: mode == "scalar",
+					})
+					defer bt.Close()
+					if mode == "vector" && !bt.Vectorized() {
+						b.Fatalf("%s did not engage the vector path", pr.name)
+					}
+					src := collide.NewGraySourceRange(pl.n, pl.lo, pl.hi)
+					bt.Run(src) // warm the scratch
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						src.Reset()
+						if st := bt.Run(src); st.Graphs != graphs {
+							b.Fatalf("ran %d graphs, want %d", st.Graphs, graphs)
+						}
+					}
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(graphs), "ns/graph")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkSweepLocal measures the sweep coordinator end to end with
 // in-process workers: plan (rank-range split), execute (the JSON-lines unit
 // protocol per worker), merge (BatchStats.Merge over completion order). One

@@ -54,7 +54,7 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
-const defaultBench = "BenchmarkEnumerate|BenchmarkCountFamilies|BenchmarkCollisionSearch|BenchmarkLocalPhaseModes|BenchmarkGraphAlgorithms|BenchmarkRunBatch|BenchmarkSweepLocal|BenchmarkSweepTCP|BenchmarkPowerSumAccumulator|BenchmarkAdjacencyKey|BenchmarkCanonicalForm|BenchmarkSweepCanonVsGray"
+const defaultBench = "BenchmarkEnumerate|BenchmarkCountFamilies|BenchmarkCollisionSearch|BenchmarkLocalPhaseModes|BenchmarkGraphAlgorithms|BenchmarkRunBatch|BenchmarkVectorBatch|BenchmarkSweepLocal|BenchmarkSweepTCP|BenchmarkPowerSumAccumulator|BenchmarkAdjacencyKey|BenchmarkCanonicalForm|BenchmarkSweepCanonVsGray"
 
 // benchLine matches one line of `go test -bench -benchmem` output, e.g.
 // "BenchmarkEnumerate/n=6-8  370  3212515 ns/op  0 B/op  0 allocs/op".
@@ -77,6 +77,7 @@ func main() {
 	}
 	prev, prevPath := loadLatest(*dir)
 	printComparison(report, prev, prevPath)
+	printPaired(report)
 
 	if *dry {
 		fmt.Println("\n(dry run: baseline not written)")
@@ -220,6 +221,47 @@ func printComparison(cur, prev *Report, prevPath string) {
 			delta += " " + significance(r.SamplesNs, p.SamplesNs)
 		}
 		fmt.Printf("%-*s  %14.0f  %12d  %10d  %s\n", w, r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, delta)
+	}
+}
+
+// printPaired compares scalar/vector sibling benchmarks WITHIN the current
+// run — the BenchmarkVectorBatch suite emits ".../scalar" and ".../vector"
+// variants of the same workload, so the speedup and its significance are
+// testable from a single baseline, no prior file required.
+func printPaired(cur *Report) {
+	byName := map[string]Result{}
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	type pair struct{ base string }
+	var pairs []pair
+	w := 0
+	for _, r := range cur.Results {
+		base, ok := strings.CutSuffix(r.Name, "/scalar")
+		if !ok {
+			continue
+		}
+		if _, ok := byName[base+"/vector"]; !ok {
+			continue
+		}
+		pairs = append(pairs, pair{base})
+		if len(base) > w {
+			w = len(base)
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+	fmt.Println("\nscalar vs vector (paired within this run):")
+	fmt.Printf("%-*s  %14s  %14s  %s\n", w, "benchmark", "scalar ns/op", "vector ns/op", "speedup")
+	for _, p := range pairs {
+		s, v := byName[p.base+"/scalar"], byName[p.base+"/vector"]
+		if v.NsPerOp <= 0 {
+			continue
+		}
+		fmt.Printf("%-*s  %14.0f  %14.0f  %.2f× %s\n",
+			w, p.base, s.NsPerOp, v.NsPerOp, s.NsPerOp/v.NsPerOp,
+			significance(v.SamplesNs, s.SamplesNs))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 )
 
 // ParseRankRange parses the "lo:hi" vocabulary of the -ranks CLI flags into
@@ -47,6 +48,7 @@ func ParseRankRange(s string, n int) (lo, hi uint64, err error) {
 // Batch.RunShards — disjoint rank ranges cover disjoint mask sets.
 type GraySource struct {
 	n       int
+	lo      uint64 // first rank of the range (for Reset)
 	next    uint64 // next rank to visit
 	hi      uint64
 	mask    uint64
@@ -80,9 +82,16 @@ func GraySourceForRange(n int, lo, hi uint64) (*GraySource, error) {
 	if err := ValidateGrayRange(n, lo, hi); err != nil {
 		return nil, err
 	}
-	s := &GraySource{n: n, next: lo, hi: hi}
+	s := &GraySource{n: n, lo: lo, next: lo, hi: hi}
 	edgePairs(n, &s.us, &s.vs)
 	return s, nil
+}
+
+// Reset rewinds the source to the start of its range, so one source can
+// feed repeated runs (steady-state benchmarks) without reallocating.
+func (s *GraySource) Reset() {
+	s.next = s.lo
+	s.started = false
 }
 
 // Next implements engine.Source. The returned graph is reused by the next
@@ -103,6 +112,28 @@ func (s *GraySource) Next() *graph.Graph {
 	s.g.ToggleEdge(s.us[bit], s.vs[bit])
 	s.next++
 	return s.g
+}
+
+// NextBlock implements engine.BlockSource: it overwrites blk with the next
+// ≤ 64 ranks of the range and advances the stream, so vector-capable
+// batches consume the same [lo, hi) walk 64 graphs at a time. Ragged tails
+// (hi − next < 64) become partial blocks with a matching LiveMask. Mixing
+// Next and NextBlock on one source is legal — the scalar cursor re-seeds
+// from the rank after the last served block.
+func (s *GraySource) NextBlock(blk *lanes.Block) bool {
+	if s.next >= s.hi {
+		return false
+	}
+	count := s.hi - s.next
+	if count > lanes.Lanes {
+		count = lanes.Lanes
+	}
+	blk.FillGray(s.n, s.next, int(count))
+	s.next += count
+	last := s.next - 1
+	s.mask = last ^ (last >> 1)
+	s.started = false // a later scalar Next re-seeds its reused graph
+	return true
 }
 
 // Mask returns the edge mask of the graph most recently yielded by Next.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"refereenet/internal/bits"
+	"refereenet/internal/lanes"
 	"refereenet/internal/numeric"
 	"refereenet/internal/sim"
 )
@@ -36,6 +37,28 @@ func (f bufferedFunc) AppendLocalMessage(w *bits.Writer, n, id int, nbrs []int) 
 	f(w, n, id, nbrs)
 }
 
+// vectorFunc additionally implements engine.VectorLocal: a lane kernel
+// that reproduces the bufferedFunc's batch statistics 64 graphs per word
+// op. Strawmen qualify when their message width is data-independent —
+// batch stats only see bit counts, so the kernel is the width algebra
+// itself (lanes.ConstWidthKernel) and is exact by construction. Strawmen
+// are not Deciders, so the decide flag changes nothing.
+type vectorFunc struct {
+	bufferedFunc
+	kernel lanes.Kernel
+}
+
+func (v vectorFunc) VectorKernel(decide bool) lanes.Kernel { return v.kernel }
+
+// vectorized wraps s's local function with the constant-width lane kernel.
+// Only strawmen whose Bits is exact for every (n, id, nbrs) — all of the
+// fixed-width ones — may opt in; the conformance suite holds the
+// byte-identical line for each.
+func (s Strawman) vectorized() Strawman {
+	s.Local = vectorFunc{s.Local.(bufferedFunc), lanes.ConstWidthKernel(s.Bits)}
+	return s
+}
+
 // DegreeOnly sends just deg(v) — the weakest plausible sketch.
 func DegreeOnly() Strawman {
 	return Strawman{
@@ -44,7 +67,7 @@ func DegreeOnly() Strawman {
 		Local: bufferedFunc(func(w *bits.Writer, n, id int, nbrs []int) {
 			w.WriteUint(uint64(len(nbrs)), bits.Width(n))
 		}),
-	}
+	}.vectorized()
 }
 
 // DegreeSum sends (deg, Σ neighbor IDs) — the forest protocol's message,
@@ -112,7 +135,7 @@ func HashSketch(b int) Strawman {
 			}
 			w.WriteUint(h&(1<<uint(b)-1), b)
 		}),
-	}
+	}.vectorized()
 }
 
 // NeighborhoodMod sends deg and Σ neighbor IDs mod a small prime — a lossy
@@ -130,7 +153,7 @@ func NeighborhoodMod(p uint64) Strawman {
 			}
 			w.WriteUint(sum, width)
 		}),
-	}
+	}.vectorized()
 }
 
 // TruncatedSum sends (deg mod 2^degBits, Σ neighbors mod 2^sumBits): a

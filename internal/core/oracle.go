@@ -5,6 +5,7 @@ import (
 
 	"refereenet/internal/bits"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 	"refereenet/internal/sim"
 )
 
@@ -17,6 +18,11 @@ import (
 type OracleDecider struct {
 	Label string
 	Pred  func(*graph.Graph) bool
+	// Accept, when non-nil, is the lane-parallel form of Pred: per-lane
+	// accept bits over a transposed 64-graph block. Oracles whose predicate
+	// has a bitsliced kernel (triangle, square, connectivity) set it; the
+	// rest decline VectorKernel and run scalar.
+	Accept func(*lanes.Block) uint64
 }
 
 // Name implements sim.Named.
@@ -42,6 +48,23 @@ func (o *OracleDecider) AppendLocalMessage(w *bits.Writer, n, id int, nbrs []int
 			w.WriteBit(0)
 		}
 	}
+}
+
+// VectorKernel implements engine.VectorLocal. The message side is exact by
+// construction — every node ships exactly n row bits — and the verdict side
+// is the Accept kernel when present. Decide on self-produced rows cannot
+// error (rows are symmetric by construction), so the kernel's
+// Accepted/Rejected partition of the live lanes matches the scalar loop
+// bit for bit. Oracles without an Accept kernel return nil under decide,
+// declining vectorization rather than approximating it.
+func (o *OracleDecider) VectorKernel(decide bool) lanes.Kernel {
+	if !decide {
+		return lanes.ConstWidthKernel(func(n int) int { return n })
+	}
+	if o.Accept == nil {
+		return nil
+	}
+	return lanes.DecideKernel(func(n int) int { return n }, o.Accept, true)
 }
 
 // Decide rebuilds the graph from the rows and applies the predicate. It
@@ -86,12 +109,20 @@ func decodeRows(n int, msgs []bits.String) (*graph.Graph, error) {
 
 // NewSquareOracle decides "G contains C4 as a subgraph" (Theorem 1).
 func NewSquareOracle() *OracleDecider {
-	return &OracleDecider{Label: "square", Pred: (*graph.Graph).HasSquare}
+	return &OracleDecider{
+		Label:  "square",
+		Pred:   (*graph.Graph).HasSquare,
+		Accept: (*lanes.Block).Squares,
+	}
 }
 
 // NewTriangleOracle decides "G contains a triangle" (Theorem 3).
 func NewTriangleOracle() *OracleDecider {
-	return &OracleDecider{Label: "triangle", Pred: (*graph.Graph).HasTriangle}
+	return &OracleDecider{
+		Label:  "triangle",
+		Pred:   (*graph.Graph).HasTriangle,
+		Accept: (*lanes.Block).Triangles,
+	}
 }
 
 // NewDiameterOracle decides "diam(G) ≤ d" (Theorem 2 uses d = 3).
@@ -105,7 +136,11 @@ func NewDiameterOracle(d int) *OracleDecider {
 // NewConnectivityOracle decides "G is connected" (the paper's main open
 // question; the oracle shows the reductions framework applies to it too).
 func NewConnectivityOracle() *OracleDecider {
-	return &OracleDecider{Label: "connected", Pred: (*graph.Graph).IsConnected}
+	return &OracleDecider{
+		Label:  "connected",
+		Pred:   (*graph.Graph).IsConnected,
+		Accept: (*lanes.Block).Connected,
+	}
 }
 
 // NewForestOracle decides "G is a forest". ForestProtocol reconstructs

@@ -6,6 +6,7 @@ import (
 
 	"refereenet/internal/bits"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 )
 
 // Source streams graphs into a batch run. Next returns the next graph, or
@@ -37,6 +38,19 @@ type Volatile interface {
 // weighted stream into per-shard sources to parallelize it.
 type Weighted interface {
 	Weight() uint64
+}
+
+// BlockSource is implemented by sources that can serve their stream as
+// transposed 64-graph lanes.Blocks — the Gray enumerator, whose one-bit
+// steps make the transpose a single XOR per rank. NextBlock overwrites blk
+// with the next ≤ 64 graphs and advances the stream, returning false at
+// exhaustion; ragged tails (a range not divisible by 64) surface as blocks
+// whose LiveMask covers fewer than 64 lanes. Batch consumes blocks only
+// when the protocol opted into VectorLocal; otherwise the source's scalar
+// Next carries the run, so implementing BlockSource is always safe.
+type BlockSource interface {
+	Source
+	NextBlock(blk *lanes.Block) bool
 }
 
 // Erring is implemented by sources that can fail mid-stream — a disk corpus
@@ -151,6 +165,13 @@ type BatchOptions struct {
 	// transcript, on the worker goroutine that produced it. Neither g nor t
 	// may be retained: both may be reused for the next graph.
 	OnTranscript func(g *graph.Graph, t *Transcript)
+	// NoVector disables the VectorLocal lane-parallel fast path, forcing the
+	// scalar loop even when protocol and source both support blocks. It is a
+	// process-local toggle for differential tests and benchmarks and is
+	// never on the wire: remote scalar forcing goes through the Sched field
+	// (any non-nil scheduler bypasses the vector path), exactly as
+	// `-sched chunked` forces the non-arena path today.
+	NoVector bool
 }
 
 // Sized is implemented by protocols whose exact per-node message size on
@@ -169,6 +190,7 @@ type Batch struct {
 	p        Local
 	buffered BufferedLocal // non-nil when p opts into the arena path
 	decider  Decider       // non-nil when opts.Decide and p decides
+	vkern    lanes.Kernel  // non-nil when p opts into the lane-parallel path
 	opts     BatchOptions
 	workers  int
 
@@ -192,6 +214,20 @@ type batchScratch struct {
 	arena []byte
 	w     bits.Writer
 	t     Transcript
+	blk   lanes.Block      // per-worker: block sources may run on pool goroutines
+	bs    lanes.BlockStats // per-block tally, reused so the hot loop stays 0 alloc
+}
+
+// sized returns the n-message slice, growing the scratch on first need (the
+// lazy path for batches built without MaxN).
+func (sc *batchScratch) sized(n int) []bits.String {
+	if cap(sc.msgs) < n {
+		sc.msgs = make([]bits.String, n)
+	}
+	if cap(sc.nbrs) < n {
+		sc.nbrs = make([]int, 0, n)
+	}
+	return sc.msgs[:n]
 }
 
 type lockedSource struct {
@@ -218,6 +254,16 @@ func NewBatch(p Local, opts BatchOptions) *Batch {
 	}
 	if opts.Decide {
 		b.decider, _ = p.(Decider)
+	}
+	// The vector path replaces the whole per-graph loop, so it only engages
+	// when nothing needs that loop's artifacts: no scheduler (schedulers are
+	// wall-clock semantics over per-graph message vectors) and no transcript
+	// observer. Whether the kernel must tally verdicts follows the same
+	// decision as the scalar loop's decider.
+	if opts.Sched == nil && opts.OnTranscript == nil && !opts.NoVector {
+		if v, ok := p.(VectorLocal); ok {
+			b.vkern = v.VectorKernel(b.decider != nil)
+		}
 	}
 	b.sc = b.newScratch()
 	if workers > 1 {
@@ -345,34 +391,64 @@ func (b *Batch) dispatch(shards []batchShard) BatchStats {
 	return out
 }
 
+// runShard picks the shard's loop once — vector, buffered-arena, scheduled
+// or plain — instead of re-branching on the invariants inside the per-graph
+// hot loop. Weighted sources never take the vector path: orbit weights are
+// per-representative, lanes are per-rank.
 func (b *Batch) runShard(sh *batchShard, sc *batchScratch) {
 	sh.stats = BatchStats{}
-	w, _ := sh.src.(Weighted)
-	for g := sh.src.Next(); g != nil; g = sh.src.Next() {
-		weight := uint64(1)
-		if w != nil {
-			weight = w.Weight()
+	src := sh.src
+	if b.vkern != nil && !isWeighted(src) {
+		if bs, ok := src.(BlockSource); ok {
+			b.runBlocks(bs, &sh.stats, sc)
+			return
 		}
-		b.runGraph(g, weight, &sh.stats, sc)
+	}
+	w, _ := src.(Weighted)
+	switch {
+	case b.buffered != nil:
+		b.runShardBuffered(src, w, &sh.stats, sc)
+	case b.opts.Sched != nil:
+		b.runShardSched(src, w, &sh.stats, sc)
+	default:
+		b.runShardPlain(src, w, &sh.stats, sc)
 	}
 }
 
-// runGraph is the batch hot loop: local phase into per-worker scratch, bit
-// accounting, optional referee call. For BufferedLocal protocols the
-// messages land in a reused byte arena — zero allocations per graph. The
-// weight (1 for plain sources, the labelled-orbit size for Weighted ones)
-// scales every counter; maxima stay per-graph.
-func (b *Batch) runGraph(g *graph.Graph, weight uint64, st *BatchStats, sc *batchScratch) {
-	n := g.N()
-	if cap(sc.msgs) < n {
-		sc.msgs = make([]bits.String, n)
+// runBlocks is the lane-parallel fast path: the source serves transposed
+// 64-graph blocks and the protocol's kernel folds each one into block stats
+// with word-parallel ops — only the per-block fold into BatchStats is
+// scalar. Ragged tail blocks carry a partial LiveMask and account exactly.
+func (b *Batch) runBlocks(src BlockSource, st *BatchStats, sc *batchScratch) {
+	for src.NextBlock(&sc.blk) {
+		sc.bs = lanes.BlockStats{}
+		b.vkern(&sc.blk, &sc.bs)
+		st.foldBlock(sc.bs)
 	}
-	if cap(sc.nbrs) < n {
-		sc.nbrs = make([]int, 0, n)
+}
+
+// foldBlock merges one block's tallies, mirroring Merge: counters add,
+// maxima take the larger value.
+func (s *BatchStats) foldBlock(o lanes.BlockStats) {
+	s.Graphs += o.Graphs
+	s.TotalBits += o.TotalBits
+	if o.MaxBits > s.MaxBits {
+		s.MaxBits = o.MaxBits
 	}
-	msgs := sc.msgs[:n]
-	switch {
-	case b.buffered != nil:
+	if o.MaxN > s.MaxN {
+		s.MaxN = o.MaxN
+	}
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.Errors += o.Errors
+}
+
+// runShardBuffered is the arena hot loop: messages land in a reused byte
+// arena via the protocol's AppendLocalMessage — zero allocations per graph.
+func (b *Batch) runShardBuffered(src Source, w Weighted, st *BatchStats, sc *batchScratch) {
+	for g := src.Next(); g != nil; g = src.Next() {
+		n := g.N()
+		msgs := sc.sized(n)
 		sc.arena = sc.arena[:0]
 		for v := 1; v <= n; v++ {
 			sc.nbrs = g.AppendNeighbors(v, sc.nbrs[:0])
@@ -380,12 +456,43 @@ func (b *Batch) runGraph(g *graph.Graph, weight uint64, st *BatchStats, sc *batc
 			b.buffered.AppendLocalMessage(&sc.w, n, v, sc.nbrs)
 			msgs[v-1], sc.arena = sc.w.AppendTo(sc.arena)
 		}
-	case b.opts.Sched != nil:
-		b.opts.Sched.Run(g, b.p, msgs)
-	default:
-		sc.nbrs = fillRange(g, b.p, msgs, 1, n, sc.nbrs)
+		b.account(g, weightOf(w), msgs, st, sc)
 	}
+}
 
+// runShardSched runs each graph's local phase under the configured
+// scheduler (protocol-allocated messages, intra-graph scheduling).
+func (b *Batch) runShardSched(src Source, w Weighted, st *BatchStats, sc *batchScratch) {
+	for g := src.Next(); g != nil; g = src.Next() {
+		msgs := sc.sized(g.N())
+		b.opts.Sched.Run(g, b.p, msgs)
+		b.account(g, weightOf(w), msgs, st, sc)
+	}
+}
+
+// runShardPlain is the fallback for protocols without AppendLocalMessage.
+func (b *Batch) runShardPlain(src Source, w Weighted, st *BatchStats, sc *batchScratch) {
+	for g := src.Next(); g != nil; g = src.Next() {
+		n := g.N()
+		msgs := sc.sized(n)
+		sc.nbrs = fillRange(g, b.p, msgs, 1, n, sc.nbrs)
+		b.account(g, weightOf(w), msgs, st, sc)
+	}
+}
+
+func weightOf(w Weighted) uint64 {
+	if w == nil {
+		return 1
+	}
+	return w.Weight()
+}
+
+// account folds one evaluated graph into st — the accounting tail shared by
+// every scalar loop: bit totals, optional referee verdict, optional
+// transcript observer. The weight (1 for plain sources, the labelled-orbit
+// size for Weighted ones) scales every counter; maxima stay per-graph.
+func (b *Batch) account(g *graph.Graph, weight uint64, msgs []bits.String, st *BatchStats, sc *batchScratch) {
+	n := g.N()
 	st.Graphs += weight
 	if n > st.MaxN {
 		st.MaxN = n
@@ -414,6 +521,10 @@ func (b *Batch) runGraph(g *graph.Graph, weight uint64, st *BatchStats, sc *batc
 		b.opts.OnTranscript(g, &sc.t)
 	}
 }
+
+// Vectorized reports whether this batch engages the lane-parallel fast path
+// for sources that serve blocks.
+func (b *Batch) Vectorized() bool { return b.vkern != nil }
 
 // RunBatch runs p over src with a one-shot Batch. For repeated runs build a
 // Batch once and reuse it — the scratch reuse is what amortizes to zero

@@ -24,6 +24,7 @@ package engine
 import (
 	"refereenet/internal/bits"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 )
 
 // Local is the local function Γˡₙ of a one-round protocol: the message node
@@ -49,6 +50,24 @@ type Local interface {
 type BufferedLocal interface {
 	Local
 	AppendLocalMessage(w *bits.Writer, n, id int, nbrs []int)
+}
+
+// VectorLocal is an optional lane-parallel variant of Local: the protocol
+// can evaluate a transposed 64-graph lanes.Block with a handful of word ops
+// and fold the result straight into block stats, bypassing the per-graph
+// message loop entirely. Batch detects it once at construction — the same
+// opt-in pattern as BufferedLocal — and routes sources that serve blocks
+// (BlockSource) through the kernel.
+//
+// VectorKernel may return nil to decline: the instance cannot vectorize
+// under the given decide setting (e.g. an oracle whose predicate has no
+// lane kernel), and the batch falls back to the scalar path. A non-nil
+// kernel must reproduce the scalar loop's BatchStats exactly — that
+// byte-identical contract is enforced by the conformance suite for every
+// registered protocol claiming this interface.
+type VectorLocal interface {
+	Local
+	VectorKernel(decide bool) lanes.Kernel
 }
 
 // Decider is a one-round protocol whose referee answers a yes/no question

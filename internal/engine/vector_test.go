@@ -1,0 +1,270 @@
+package engine_test
+
+// The vector differential suite: the house merge bar for the lane-parallel
+// path is a BatchStats identical to the scalar loop for every protocol that
+// claims engine.VectorLocal — exhaustively for n ≤ 6, and on 2^20-rank
+// n = 9 windows including one straddling rank 2^32 (where the Gray walk
+// flips its highest edge bits). The scalar side of every comparison runs
+// with NoVector, so it is exactly the loop the repo has shipped since PR 3.
+
+import (
+	"testing"
+
+	"refereenet/internal/collide"
+	"refereenet/internal/engine"
+	"refereenet/internal/graph"
+)
+
+// vectorizedProtocols returns every registry protocol that claims
+// VectorLocal with a usable kernel under the given decide setting,
+// instantiated for n-vertex graphs.
+func vectorizedProtocols(n int, decide bool) []string {
+	var names []string
+	for _, name := range engine.Names() {
+		p, ok := engine.New(name, engine.Config{N: n})
+		if !ok {
+			continue
+		}
+		v, ok := p.(engine.VectorLocal)
+		if !ok || v.VectorKernel(decide) == nil {
+			continue
+		}
+		if decide {
+			if _, isDecider := p.(engine.Decider); !isDecider {
+				continue
+			}
+		}
+		names = append(names, name)
+	}
+	return names
+}
+
+// runBoth executes the same gray window through the vector path and the
+// forced-scalar path and returns both stats. It fails the test if the
+// vector batch did not actually engage the kernel.
+func runBoth(t *testing.T, name string, n int, lo, hi uint64, decide bool) (vec, scalar engine.BatchStats) {
+	t.Helper()
+	build := func(noVector bool) engine.BatchStats {
+		p, ok := engine.New(name, engine.Config{N: n})
+		if !ok {
+			t.Fatalf("protocol %q not registered", name)
+		}
+		b := engine.NewBatch(p, engine.BatchOptions{Workers: 1, Decide: decide, MaxN: n, NoVector: noVector})
+		defer b.Close()
+		if !noVector && !b.Vectorized() {
+			t.Fatalf("%s n=%d decide=%v: batch did not engage the vector path", name, n, decide)
+		}
+		return b.Run(collide.NewGraySourceRange(n, lo, hi))
+	}
+	return build(false), build(true)
+}
+
+// TestVectorMatchesScalarExhaustive sweeps every labelled graph for
+// n ≤ 6 through every vectorized protocol, decide off and (for deciders)
+// on, demanding identical BatchStats.
+func TestVectorMatchesScalarExhaustive(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		total := uint64(1) << uint(n*(n-1)/2)
+		for _, decide := range []bool{false, true} {
+			for _, name := range vectorizedProtocols(n, decide) {
+				vec, scalar := runBoth(t, name, n, 0, total, decide)
+				if vec != scalar {
+					t.Errorf("%s n=%d decide=%v: vector %+v, scalar %+v", name, n, decide, vec, scalar)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorMatchesScalarRaggedWindows drives unaligned, tail-heavy windows
+// (prime lengths, sub-64 ranges, ranges ending at the space's top) so every
+// ragged-block shape crosses the live-mask accounting.
+func TestVectorMatchesScalarRaggedWindows(t *testing.T) {
+	n := 7
+	top := uint64(1) << 21
+	windows := [][2]uint64{
+		{0, 1}, {0, 63}, {0, 64}, {0, 65},
+		{13, 13 + 61}, {100, 611}, {top - 129, top}, {top - 1, top},
+	}
+	for _, decide := range []bool{false, true} {
+		for _, name := range vectorizedProtocols(n, decide) {
+			for _, w := range windows {
+				vec, scalar := runBoth(t, name, n, w[0], w[1], decide)
+				if vec != scalar {
+					t.Errorf("%s n=%d [%d,%d) decide=%v: vector %+v, scalar %+v",
+						name, n, w[0], w[1], decide, vec, scalar)
+				}
+			}
+		}
+	}
+}
+
+// TestVectorMatchesScalarN9Windows holds the line on the production plane:
+// 2^20-rank n = 9 windows, one straddling rank 2^32, one at the top of the
+// 2^36 space, one mid-plane. Short mode shrinks the windows.
+func TestVectorMatchesScalarN9Windows(t *testing.T) {
+	window := uint64(1) << 20
+	if testing.Short() {
+		window = 1 << 14
+	}
+	n := 9
+	los := []uint64{
+		1<<32 - window/2, // straddles 2^32
+		1<<36 - window,   // top of the plane
+		0x6ea53a9b0,      // arbitrary mid-plane offset
+	}
+	names := []string{"degree", "mod7", "hash16"}
+	deciders := []string{"oracle-triangle", "oracle-conn"}
+	for _, lo := range los {
+		for _, name := range names {
+			vec, scalar := runBoth(t, name, n, lo, lo+window, false)
+			if vec != scalar {
+				t.Errorf("%s n=9 [%d,+2^20) : vector %+v, scalar %+v", name, lo, vec, scalar)
+			}
+		}
+		for _, name := range deciders {
+			vec, scalar := runBoth(t, name, n, lo, lo+window, true)
+			if vec != scalar {
+				t.Errorf("%s n=9 [%d,+2^20) decide: vector %+v, scalar %+v", name, lo, vec, scalar)
+			}
+		}
+	}
+}
+
+// TestVectorSplitShardMerge proves the block path composes with the
+// plan/execute/merge pipeline exactly as the scalar loop does: splitting a
+// gray shard and merging the per-sub-shard stats equals the unsplit run,
+// with the vector path active on every sub-shard. Blocks never cross
+// sub-shard boundaries — each sub-shard's source restarts its own walk —
+// and ragged chunk edges surface as partial live masks, so no alignment
+// between SplitRange chunk sizes and the 64-lane width is required.
+func TestVectorSplitShardMerge(t *testing.T) {
+	for _, tc := range []struct {
+		protocol string
+		decide   bool
+	}{{"mod3", false}, {"oracle-triangle", true}} {
+		spec := engine.ShardSpec{
+			Protocol: tc.protocol,
+			Decide:   tc.decide,
+			Config:   engine.Config{N: 7},
+			Source:   engine.SourceSpec{Kind: "gray", N: 7},
+		}
+		whole, err := engine.ExecuteShard(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalarSpec := spec
+		scalarSpec.Sched = "chunked" // the wire-level scalar forcing
+		scalarWhole, err := engine.ExecuteShard(scalarSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if whole != scalarWhole {
+			t.Fatalf("%s: vector shard %+v, chunked-sched shard %+v", tc.protocol, whole, scalarWhole)
+		}
+		for _, parts := range []int{2, 3, 7, 64} {
+			var merged engine.BatchStats
+			for _, sub := range engine.SplitShard(spec, parts) {
+				st, err := engine.ExecuteShard(sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				merged.Merge(st)
+			}
+			if merged != whole {
+				t.Errorf("%s split %d: merged %+v, whole %+v", tc.protocol, parts, merged, whole)
+			}
+		}
+	}
+}
+
+// TestVectorRunShards exercises the pool path: pre-split gray ranges as
+// independent shards across a multi-worker batch, where each worker's
+// scratch block must stay private.
+func TestVectorRunShards(t *testing.T) {
+	p, _ := engine.New("oracle-conn", engine.Config{N: 6})
+	b := engine.NewBatch(p, engine.BatchOptions{Workers: 4, Decide: true, MaxN: 6})
+	defer b.Close()
+	if !b.Vectorized() {
+		t.Fatal("oracle-conn batch did not engage the vector path")
+	}
+	total := uint64(1) << 15
+	mk := func(parts int) []engine.Source {
+		srcs := make([]engine.Source, 0, parts)
+		chunk := total / uint64(parts)
+		for i := 0; i < parts; i++ {
+			lo, hi := uint64(i)*chunk, uint64(i+1)*chunk
+			if i == parts-1 {
+				hi = total
+			}
+			srcs = append(srcs, collide.NewGraySourceRange(6, lo, hi))
+		}
+		return srcs
+	}
+	want := b.Run(collide.NewGraySource(6))
+	for _, parts := range []int{2, 5, 16} {
+		if got := b.RunShards(mk(parts)...); got != want {
+			t.Errorf("RunShards(%d): %+v, single run %+v", parts, got, want)
+		}
+	}
+}
+
+// TestVectorSteadyStateAllocs pins the fast path's allocation budget: zero
+// per run once the batch exists (the block lives in per-worker scratch, the
+// per-block stats on the stack). Sources are pre-built so only the loop is
+// measured.
+func TestVectorSteadyStateAllocs(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		decide bool
+	}{{"mod3", false}, {"oracle-triangle", true}} {
+		p, _ := engine.New(tc.name, engine.Config{N: 6})
+		b := engine.NewBatch(p, engine.BatchOptions{Workers: 1, Decide: tc.decide, MaxN: 6})
+		defer b.Close()
+		const runs = 10
+		srcs := make([]*collide.GraySource, runs+1)
+		for i := range srcs {
+			srcs[i] = collide.NewGraySource(6)
+		}
+		i := 0
+		avg := testing.AllocsPerRun(runs, func() {
+			b.Run(srcs[i])
+			i++
+		})
+		if avg != 0 {
+			t.Errorf("%s: vector path allocates %.1f per run, want 0", tc.name, avg)
+		}
+	}
+}
+
+// TestVectorDisengages pins every condition under which the batch must NOT
+// vectorize: schedulers, transcript observers, the NoVector toggle, and
+// protocols without the capability — and that the scalar fallback still
+// runs block-capable sources correctly through Next.
+func TestVectorDisengages(t *testing.T) {
+	sched, _ := engine.SchedulerByName("chunked")
+	cases := []struct {
+		label    string
+		protocol string
+		opts     engine.BatchOptions
+	}{
+		{"scheduler", "degree", engine.BatchOptions{Workers: 1, Sched: sched}},
+		{"transcript observer", "degree", engine.BatchOptions{Workers: 1, OnTranscript: func(g *graph.Graph, tr *engine.Transcript) {}}},
+		{"NoVector", "degree", engine.BatchOptions{Workers: 1, NoVector: true}},
+		{"unvectorized protocol", "powersums2", engine.BatchOptions{Workers: 1}},
+	}
+	for _, tc := range cases {
+		p, ok := engine.New(tc.protocol, engine.Config{N: 5})
+		if !ok {
+			t.Fatalf("protocol %q not registered", tc.protocol)
+		}
+		b := engine.NewBatch(p, tc.opts)
+		if b.Vectorized() {
+			t.Errorf("%s: batch claims the vector path", tc.label)
+		}
+		if st := b.Run(collide.NewGraySource(5)); st.Graphs != 1<<10 {
+			t.Errorf("%s: fallback ran %d graphs, want %d", tc.label, st.Graphs, 1<<10)
+		}
+		b.Close()
+	}
+}

@@ -1,0 +1,260 @@
+package lanes
+
+import (
+	"math/rand"
+	"testing"
+
+	"refereenet/internal/graph"
+)
+
+func gray(r uint64) uint64 { return r ^ (r >> 1) }
+
+// naiveLanes builds the transpose the obvious way — one bit insertion per
+// (edge, slot) pair — as the reference for FillGray's incremental walk.
+func naiveLanes(n int, lo uint64, count int) [maxEdges]uint64 {
+	var want [maxEdges]uint64
+	edges := n * (n - 1) / 2
+	for j := 0; j < count; j++ {
+		mask := gray(lo + uint64(j))
+		for e := 0; e < edges; e++ {
+			want[e] |= (mask >> uint(e) & 1) << uint(j)
+		}
+	}
+	return want
+}
+
+func checkBlock(t *testing.T, b *Block, n int, lo uint64, count int) {
+	t.Helper()
+	want := naiveLanes(n, lo, count)
+	for e := 0; e < b.Edges(); e++ {
+		if b.EdgeLane(e) != want[e] {
+			t.Fatalf("n=%d lo=%d count=%d: lane %d = %#x, naive build says %#x",
+				n, lo, count, e, b.EdgeLane(e), want[e])
+		}
+	}
+	// Dead lanes must be zero in every edge word: ragged tails leak nothing.
+	for e := 0; e < b.Edges(); e++ {
+		if b.EdgeLane(e)&^b.LiveMask() != 0 {
+			t.Fatalf("n=%d lo=%d count=%d: lane %d has dead-slot bits %#x",
+				n, lo, count, e, b.EdgeLane(e)&^b.LiveMask())
+		}
+	}
+	for j := 0; j < count; j++ {
+		if got, want := b.UntransposeMask(j), gray(lo+uint64(j)); got != want {
+			t.Fatalf("n=%d lo=%d count=%d: slot %d untransposes to %#x, rank %d grays to %#x",
+				n, lo, count, j, got, lo+uint64(j), want)
+		}
+	}
+}
+
+// TestFillGrayExhaustive walks every aligned block and a sweep of ragged
+// windows for n ≤ 5, checking transpose == naive build and untranspose ==
+// Gray code of the rank.
+func TestFillGrayExhaustive(t *testing.T) {
+	var b Block
+	for n := 1; n <= 5; n++ {
+		total := uint64(1) << uint(n*(n-1)/2)
+		for lo := uint64(0); lo < total; lo += Lanes {
+			count := Lanes
+			if rem := total - lo; rem < uint64(count) {
+				count = int(rem)
+			}
+			b.FillGray(n, lo, count)
+			checkBlock(t, &b, n, lo, count)
+		}
+		// Ragged, unaligned windows.
+		rng := rand.New(rand.NewSource(int64(n) * 7919))
+		for trial := 0; trial < 50; trial++ {
+			count := 1 + rng.Intn(Lanes)
+			if uint64(count) > total {
+				count = int(total)
+			}
+			lo := uint64(rng.Int63n(int64(total - uint64(count) + 1)))
+			b.FillGray(n, lo, count)
+			checkBlock(t, &b, n, lo, count)
+		}
+	}
+}
+
+// TestFillGrayWindows spot-checks large-n windows, including the 2^32
+// straddle that exercises high trailing-zero counts in the Gray walk.
+func TestFillGrayWindows(t *testing.T) {
+	var b Block
+	for _, tc := range []struct {
+		n     int
+		lo    uint64
+		count int
+	}{
+		{9, 0, 64},
+		{9, 1<<32 - 32, 64}, // straddles 2^32: rank 2^32 flips edge bit 32
+		{9, 1<<36 - 64, 64}, // top of the n = 9 plane
+		{9, 1<<36 - 17, 17}, // ragged tail at the very top
+		{11, 1<<55 - 64, 64},
+		{7, 123457, 64},
+	} {
+		b.FillGray(tc.n, tc.lo, tc.count)
+		checkBlock(t, &b, tc.n, tc.lo, tc.count)
+	}
+}
+
+// TestFillGrayReuse drives one Block across changing n and ranges: the
+// per-n tables and leftover lane words from earlier fills must never bleed
+// into later ones.
+func TestFillGrayReuse(t *testing.T) {
+	var b Block
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(9)
+		total := uint64(1) << uint(n*(n-1)/2)
+		count := 1 + rng.Intn(Lanes)
+		if uint64(count) > total {
+			count = int(total)
+		}
+		lo := uint64(rng.Int63n(int64(total - uint64(count) + 1)))
+		b.FillGray(n, lo, count)
+		checkBlock(t, &b, n, lo, count)
+	}
+}
+
+// TestCounterAddMasked cross-checks the ripple-carry adder against 64
+// independent scalar accumulators under random masked adds.
+func TestCounterAddMasked(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c Counter
+	var want [Lanes]int
+	for round := 0; round < 200; round++ {
+		v := uint64(rng.Intn(12))
+		m := rng.Uint64()
+		// Keep every lane below the plane capacity.
+		for j := 0; j < Lanes; j++ {
+			if m>>uint(j)&1 != 0 && want[j]+int(v) >= 1<<CounterPlanes {
+				m &^= 1 << uint(j)
+			}
+		}
+		c.AddMasked(v, m)
+		for j := 0; j < Lanes; j++ {
+			if m>>uint(j)&1 != 0 {
+				want[j] += int(v)
+			}
+			if got := c.Value(j); got != want[j] {
+				t.Fatalf("round %d lane %d: counter holds %d, scalar model %d", round, j, got, want[j])
+			}
+		}
+	}
+}
+
+// TestCounterModCircuits checks Mod3/Mod7 against scalar % for every value
+// a counter can hold, one value per lane to exercise cross-lane isolation.
+func TestCounterModCircuits(t *testing.T) {
+	for base := 0; base < 1<<CounterPlanes; base += Lanes {
+		var c Counter
+		for j := 0; j < Lanes; j++ {
+			v := (base + j) % (1 << CounterPlanes)
+			c.AddMasked(uint64(v), 1<<uint(j))
+		}
+		r0, r1 := c.Mod3()
+		s0, s1, s2 := c.Mod7()
+		for j := 0; j < Lanes; j++ {
+			v := (base + j) % (1 << CounterPlanes)
+			if got := int(r0>>uint(j)&1) + 2*int(r1>>uint(j)&1); got != v%3 {
+				t.Fatalf("value %d: mod3 circuit says %d", v, got)
+			}
+			got7 := int(s0>>uint(j)&1) + 2*int(s1>>uint(j)&1) + 4*int(s2>>uint(j)&1)
+			if got7 != v%7 {
+				t.Fatalf("value %d: mod7 circuit says %d", v, got7)
+			}
+		}
+	}
+}
+
+// scalarCheck compares every per-node and accept kernel against the scalar
+// graph.Small reference for each live lane of b.
+func scalarCheck(t *testing.T, b *Block) {
+	t.Helper()
+	n := b.N()
+	tri, sq, conn := b.Triangles(), b.Squares(), b.Connected()
+	for _, w := range []struct {
+		name string
+		bits uint64
+	}{{"triangles", tri}, {"squares", sq}, {"connected", conn}} {
+		if w.bits&^b.LiveMask() != 0 {
+			t.Fatalf("%s kernel sets dead-lane bits %#x", w.name, w.bits&^b.LiveMask())
+		}
+	}
+	var deg, sum [graph.MaxSmallN + 1]Counter
+	par := [graph.MaxSmallN + 1]uint64{}
+	for v := 1; v <= n; v++ {
+		b.DegreeCounts(v, &deg[v])
+		b.NeighborSums(v, &sum[v])
+		par[v] = b.DegreeParity(v)
+	}
+	var nbrs []int
+	for j := 0; j < b.Count(); j++ {
+		g := graph.SmallFromMask(n, b.UntransposeMask(j))
+		for v := 1; v <= n; v++ {
+			d := g.Degree(v)
+			if got := deg[v].Value(j); got != d {
+				t.Fatalf("slot %d vertex %d: lane degree %d, scalar %d", j, v, got, d)
+			}
+			s := 0
+			nbrs = g.AppendNeighbors(v, nbrs[:0])
+			for _, u := range nbrs {
+				s += u
+			}
+			if got := sum[v].Value(j); got != s {
+				t.Fatalf("slot %d vertex %d: lane neighbor sum %d, scalar %d", j, v, got, s)
+			}
+			if got := int(par[v] >> uint(j) & 1); got != d&1 {
+				t.Fatalf("slot %d vertex %d: lane parity %d, scalar %d", j, v, got, d&1)
+			}
+		}
+		lane := uint64(1) << uint(j)
+		if got, want := tri&lane != 0, g.HasTriangle(); got != want {
+			t.Fatalf("slot %d (mask %#x): lane triangle %v, scalar %v", j, g.EdgeMask(), got, want)
+		}
+		if got, want := sq&lane != 0, g.HasSquare(); got != want {
+			t.Fatalf("slot %d (mask %#x): lane square %v, scalar %v", j, g.EdgeMask(), got, want)
+		}
+		if got, want := conn&lane != 0, g.IsConnected(); got != want {
+			t.Fatalf("slot %d (mask %#x): lane connected %v, scalar %v", j, g.EdgeMask(), got, want)
+		}
+	}
+}
+
+// TestKernelsExhaustiveSmall runs the full differential check over every
+// labelled graph for n ≤ 6 (exhaustive up to 2^15 ranks), aligned blocks.
+func TestKernelsExhaustiveSmall(t *testing.T) {
+	var b Block
+	for n := 1; n <= 6; n++ {
+		total := uint64(1) << uint(n*(n-1)/2)
+		for lo := uint64(0); lo < total; lo += Lanes {
+			count := Lanes
+			if rem := total - lo; rem < uint64(count) {
+				count = int(rem)
+			}
+			b.FillGray(n, lo, count)
+			scalarCheck(t, &b)
+		}
+	}
+}
+
+// TestKernelsWindowsN9 runs the differential check over random n = 9
+// windows, including one straddling rank 2^32.
+func TestKernelsWindowsN9(t *testing.T) {
+	window := 1 << 12
+	if testing.Short() {
+		window = 1 << 8
+	}
+	var b Block
+	rng := rand.New(rand.NewSource(9))
+	los := []uint64{1<<32 - uint64(window)/2, 0, 1<<36 - uint64(window)}
+	for i := 0; i < 4; i++ {
+		los = append(los, uint64(rng.Int63n(1<<36-int64(window))))
+	}
+	for _, lo := range los {
+		for off := 0; off < window; off += Lanes {
+			b.FillGray(9, lo+uint64(off), Lanes)
+			scalarCheck(t, &b)
+		}
+	}
+}

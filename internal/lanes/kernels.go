@@ -1,0 +1,138 @@
+package lanes
+
+import "refereenet/internal/graph"
+
+// Per-node kernels: each consumes the block's edge lanes for one vertex and
+// produces 64 simultaneous answers. They are the bitsliced counterparts of
+// the strawman local functions — the quantities a message encodes, computed
+// for every lane at once.
+
+// DegreeCounts accumulates deg(v) for every lane into c: one masked
+// increment per potential neighbor, i.e. n−1 ripple adds for 64 degrees.
+func (b *Block) DegreeCounts(v int, c *Counter) {
+	c.Reset()
+	for u := 1; u <= b.n; u++ {
+		if u == v {
+			continue
+		}
+		c.AddMasked(1, b.lane[b.idx[v][u]])
+	}
+}
+
+// NeighborSums accumulates Σ{u : u ~ v} u — the forest/mod-k protocols'
+// neighbor-ID sum — for every lane into c.
+func (b *Block) NeighborSums(v int, c *Counter) {
+	c.Reset()
+	for u := 1; u <= b.n; u++ {
+		if u == v {
+			continue
+		}
+		c.AddMasked(uint64(u), b.lane[b.idx[v][u]])
+	}
+}
+
+// DegreeParity returns deg(v) mod 2 per lane — the XOR of v's edge lanes.
+func (b *Block) DegreeParity(v int) uint64 {
+	x := uint64(0)
+	for u := 1; u <= b.n; u++ {
+		if u == v {
+			continue
+		}
+		x ^= b.lane[b.idx[v][u]]
+	}
+	return x
+}
+
+// Accept kernels: per-lane predicates, bit j set iff slot j's graph
+// satisfies the property. Results are already confined to LiveMask because
+// dead lanes hold the empty graph in every edge lane — callers AND with
+// LiveMask anyway before counting, since the empty graph does satisfy some
+// predicates (connectivity at n = 1, forests).
+
+// Triangles reports, per lane, whether the graph contains K3: the OR over
+// all C(n,3) vertex triples of the AND of their three edge lanes.
+func (b *Block) Triangles() uint64 {
+	acc := uint64(0)
+	n := b.n
+	for u := 1; u <= n-2; u++ {
+		for v := u + 1; v <= n-1; v++ {
+			uv := b.lane[b.idx[u][v]]
+			if uv == 0 {
+				continue
+			}
+			for w := v + 1; w <= n; w++ {
+				acc |= uv & b.lane[b.idx[u][w]] & b.lane[b.idx[v][w]]
+			}
+		}
+		if acc == b.live {
+			return acc
+		}
+	}
+	return acc
+}
+
+// Squares reports, per lane, whether the graph contains C4 as a subgraph:
+// some vertex pair {u,v} with two common neighbors, tracked by a
+// once/twice accumulator over the candidate neighbors.
+func (b *Block) Squares() uint64 {
+	acc := uint64(0)
+	n := b.n
+	if n < 4 {
+		return 0
+	}
+	for u := 1; u <= n-1; u++ {
+		for v := u + 1; v <= n; v++ {
+			once, twice := uint64(0), uint64(0)
+			for w := 1; w <= n; w++ {
+				if w == u || w == v {
+					continue
+				}
+				t := b.lane[b.idx[u][w]] & b.lane[b.idx[v][w]]
+				twice |= once & t
+				once |= t
+			}
+			acc |= twice
+		}
+		if acc == b.live {
+			return acc
+		}
+	}
+	return acc
+}
+
+// Connected reports, per lane, whether the graph is connected: 64
+// simultaneous reachability closures from vertex 1, propagated along edge
+// lanes. Relaxing every edge once per pass extends every shortest path by
+// at least one hop regardless of edge order, so n−1 passes always suffice
+// (Bellman–Ford's argument); the change tracker exits far earlier on
+// typical blocks.
+func (b *Block) Connected() uint64 {
+	n := b.n
+	if n <= 1 {
+		return b.live
+	}
+	var reach [graph.MaxSmallN + 1]uint64
+	reach[1] = b.live
+	for pass := 0; pass < n-1; pass++ {
+		changed := uint64(0)
+		for e := 0; e < b.edges; e++ {
+			t := b.lane[e]
+			if t == 0 {
+				continue
+			}
+			u, v := b.us[e], b.vs[e]
+			nu := reach[u] | reach[v]&t
+			nv := reach[v] | reach[u]&t
+			changed |= (nu ^ reach[u]) | (nv ^ reach[v])
+			reach[u], reach[v] = nu, nv
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	acc := b.live
+	for v := 1; v <= n; v++ {
+		acc &= reach[v]
+	}
+	return acc
+}

@@ -1,0 +1,69 @@
+package lanes
+
+import "math/bits"
+
+// BlockStats is what a kernel folds one block into: the same counters and
+// maxima as engine.BatchStats, kept here (lanes cannot import engine) so
+// the engine's fold is a field-by-field merge. Counters add across blocks;
+// maxima take the larger value.
+type BlockStats struct {
+	Graphs    uint64
+	TotalBits uint64
+	MaxBits   int
+	MaxN      int
+	Accepted  uint64
+	Rejected  uint64
+	Errors    uint64
+}
+
+// Kernel evaluates one transposed block, adding its tallies into st. The
+// contract mirrors the scalar batch loop exactly: Graphs counts live lanes,
+// TotalBits sums every node message's bits, MaxBits/MaxN are per-block
+// maxima, and Accepted/Rejected partition the live lanes when the kernel
+// decides. A kernel must never count dead lanes — AND accept words with
+// the block's LiveMask.
+type Kernel func(b *Block, st *BlockStats)
+
+// ConstWidthKernel is the kernel of any protocol whose per-node message
+// width on n-vertex graphs is data-independent (the fixed-width strawmen:
+// degree, mod-k, hash sketches). Message *content* varies per graph, but
+// batch statistics only see bit counts, so the whole block folds in O(1):
+// c live graphs × n nodes × width(n) bits.
+func ConstWidthKernel(width func(n int) int) Kernel {
+	return func(b *Block, st *BlockStats) {
+		c := uint64(bits.OnesCount64(b.LiveMask()))
+		if c == 0 {
+			return
+		}
+		n := b.N()
+		w := width(n)
+		st.Graphs += c
+		st.TotalBits += c * uint64(n) * uint64(w)
+		if w > st.MaxBits {
+			st.MaxBits = w
+		}
+		if n > st.MaxN {
+			st.MaxN = n
+		}
+	}
+}
+
+// DecideKernel wraps a constant-width row protocol (width bits per node)
+// with a per-lane accept predicate: the oracle-decider shape, where every
+// node ships width(n) bits and the referee's verdict is the accept bit.
+// When decide is false the batch is not tallying verdicts and the predicate
+// is skipped entirely.
+func DecideKernel(width func(n int) int, accept func(b *Block) uint64, decide bool) Kernel {
+	base := ConstWidthKernel(width)
+	if !decide {
+		return base
+	}
+	return func(b *Block, st *BlockStats) {
+		base(b, st)
+		live := b.LiveMask()
+		a := accept(b) & live
+		na := uint64(bits.OnesCount64(a))
+		st.Accepted += na
+		st.Rejected += uint64(bits.OnesCount64(live)) - na
+	}
+}
