@@ -234,6 +234,8 @@ func BenchmarkVectorBatch(b *testing.B) {
 		{"hash16", false},
 		{"oracle-triangle", true},
 		{"oracle-conn", true},
+		{"forest", false},
+		{"oracle-forest", true},
 	}
 	planes := []struct {
 		label  string
@@ -742,4 +744,50 @@ func BenchmarkSweepCanonVsGray(b *testing.B) {
 		}
 		b.ReportMetric(float64(uint64(1)<<20), "evals/op")
 	})
+}
+
+// BenchmarkSweepCanonVector marries the two planes: the 12,346 n = 8 class
+// representatives pulled as gather-filled lane blocks through the weighted
+// per-lane fold (vector) versus the scalar Next/Weight loop over the same
+// table (scalar). Both reconstitute all 2^28 labelled graphs; the ns/class
+// metric is per class representative actually evaluated. The /scalar and
+// /vector name suffixes let cmd/benchreport pair the modes and attach a
+// Welch t-test to the speedup.
+func BenchmarkSweepCanonVector(b *testing.B) {
+	const n = 8
+	total, err := canon.ClassCount(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, proto := range []string{"oracle-conn", "oracle-forest"} {
+		for _, mode := range []string{"scalar", "vector"} {
+			b.Run(fmt.Sprintf("%s/n=8/%s", proto, mode), func(b *testing.B) {
+				p, ok := engine.New(proto, engine.Config{N: n})
+				if !ok {
+					b.Fatalf("%s not registered", proto)
+				}
+				bt := engine.NewBatch(p, engine.BatchOptions{
+					Workers: 1, Decide: true, MaxN: n, NoVector: mode == "scalar",
+				})
+				defer bt.Close()
+				if mode == "vector" && !bt.Vectorized() {
+					b.Fatalf("%s did not engage the vector path", proto)
+				}
+				src, err := canon.NewClassSource(n, 0, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bt.Run(src) // warm the scratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src.Reset()
+					if st := bt.Run(src); st.Graphs != 1<<28 {
+						b.Fatalf("reconstituted %d labelled graphs, want 2^28", st.Graphs)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(total), "ns/class")
+			})
+		}
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"refereenet/internal/engine"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 )
 
 // ClassSource streams the isomorphism-class representatives [lo, hi) of the
@@ -22,6 +23,7 @@ type ClassSource struct {
 	mask    uint64
 	weight  uint64
 	g       *graph.Graph
+	wts     [lanes.Lanes]uint64 // per-slot orbit weights of the last block
 }
 
 // NewClassSource streams the class-index range [lo, hi) of the n-vertex
@@ -70,6 +72,45 @@ func (s *ClassSource) Next() *graph.Graph {
 	s.mask = c.Mask
 	return s.g
 }
+
+// NextBlock implements the block half of engine.WeightedBlockSource:
+// the next ≤ 64 class representatives gathered into one transposed block
+// via lanes.Block.FillMasks (representatives are not Gray-adjacent, so the
+// incremental suffix-XOR fill does not apply), their orbit weights held
+// for the paired Weights call. Advancing the class cursor does not touch
+// the scalar toggle state — s.g always mirrors s.mask — so mixing Next and
+// NextBlock on one source stays correct, like collide.GraySource.
+func (s *ClassSource) NextBlock(blk *lanes.Block) bool {
+	if s.pos >= len(s.classes) {
+		return false
+	}
+	count := len(s.classes) - s.pos
+	if count > lanes.Lanes {
+		count = lanes.Lanes
+	}
+	var masks [lanes.Lanes]uint64
+	for j := 0; j < count; j++ {
+		c := s.classes[s.pos+j]
+		masks[j] = c.Mask
+		s.wts[j] = c.Weight
+	}
+	for j := count; j < lanes.Lanes; j++ {
+		s.wts[j] = 0
+	}
+	blk.FillMasks(s.n, masks[:count])
+	s.pos += count
+	return true
+}
+
+// Weights implements the weight half of engine.WeightedBlockSource: slot
+// j's labelled-orbit size for the block most recently served by NextBlock,
+// zero in dead-lane slots.
+func (s *ClassSource) Weights(w *[lanes.Lanes]uint64) { *w = s.wts }
+
+// Reset rewinds the source to its first class. The scalar toggle state is
+// kept (s.g still mirrors s.mask), so a rewound source replays the same
+// stream allocation-free — steady-state benchmarks rely on this.
+func (s *ClassSource) Reset() { s.pos = 0 }
 
 // Weight implements engine.Weighted: the labelled-orbit size of the class
 // most recently yielded by Next.

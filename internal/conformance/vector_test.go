@@ -36,10 +36,11 @@ var vectorFixtures = []struct {
 var vectorMinimumLineup = []string{
 	"degree", "mod3", "mod7", "hash16",
 	"oracle-triangle", "oracle-square", "oracle-conn",
+	"forest", "oracle-forest",
 }
 
 // vectorDeciderLineup additionally must vectorize their verdicts.
-var vectorDeciderLineup = []string{"oracle-triangle", "oracle-square", "oracle-conn"}
+var vectorDeciderLineup = []string{"oracle-triangle", "oracle-square", "oracle-conn", "oracle-forest"}
 
 func statsJSON(t *testing.T, st engine.BatchStats) string {
 	t.Helper()
@@ -106,6 +107,66 @@ func TestVectorScalarDigest(t *testing.T) {
 				vec, scalar := run(false), run(true)
 				if vec != scalar {
 					t.Errorf("%s on %s (decide=%v): vector %s, scalar %s", name, f.name, decide, vec, scalar)
+				}
+			}
+		}
+	}
+}
+
+// canonVectorFixtures are the pinned class-table windows for the weighted
+// half of the digest: a full table with a ragged final block and an
+// unaligned window.
+var canonVectorFixtures = []struct {
+	name   string
+	n      int
+	lo, hi uint64
+}{
+	{"canon-n6-full", 6, 0, 0},
+	{"canon-n7-window", 7, 10, 900},
+}
+
+// TestWeightedVectorScalarDigest is the weighted-block counterpart of
+// TestVectorScalarDigest: every vectorized protocol runs the pinned canon
+// fixtures through the weighted-vector fold and the forced-scalar weighted
+// loop, comparing the JSON wire encodings byte for byte. This is the
+// conformance pin for source kind "canon" × engine.WeightedBlockSource —
+// orbit weights folded per lane must reconstitute exactly what the scalar
+// Next/Weight pair accumulates.
+func TestWeightedVectorScalarDigest(t *testing.T) {
+	for _, name := range engine.Names() {
+		for _, f := range canonVectorFixtures {
+			probe, ok := engine.New(name, engine.Config{N: f.n})
+			if !ok {
+				t.Fatalf("registry lists %q but New fails", name)
+			}
+			v, isVec := probe.(engine.VectorLocal)
+			if !isVec {
+				continue
+			}
+			decides := []bool{false}
+			if _, isDecider := probe.(engine.Decider); isDecider {
+				decides = append(decides, true)
+			}
+			for _, decide := range decides {
+				if v.VectorKernel(decide) == nil {
+					continue
+				}
+				run := func(noVector bool) string {
+					p, _ := engine.New(name, engine.Config{N: f.n, Seed: goldenSeed})
+					b := engine.NewBatch(p, engine.BatchOptions{Workers: 1, Decide: decide, MaxN: f.n, NoVector: noVector})
+					defer b.Close()
+					if !noVector && !b.Vectorized() {
+						t.Fatalf("%s on %s (decide=%v): kernel offered but batch did not engage", name, f.name, decide)
+					}
+					src, err := engine.ResolveSource(engine.SourceSpec{Kind: "canon", N: f.n, Lo: f.lo, Hi: f.hi})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return statsJSON(t, b.Run(src))
+				}
+				vec, scalar := run(false), run(true)
+				if vec != scalar {
+					t.Errorf("%s on %s (decide=%v): weighted vector %s, weighted scalar %s", name, f.name, decide, vec, scalar)
 				}
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"refereenet/internal/bits"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 	"refereenet/internal/numeric"
 	"refereenet/internal/sim"
 )
@@ -51,6 +52,17 @@ func (ForestProtocol) AppendLocalMessage(out *bits.Writer, n, id int, nbrs []int
 	out.WriteUint(uint64(id), w)
 	out.WriteUint(uint64(len(nbrs)), w)
 	out.WriteUint(sum, sumW)
+}
+
+// VectorKernel implements engine.VectorLocal. The message is three
+// fixed-width fields — ID, degree and neighbor-ID sum at widths determined
+// by n alone — so batch statistics vectorize as pure width algebra, the
+// same ConstWidthKernel the strawmen use. ForestProtocol is a
+// Reconstructor, not a Decider, so there is never a verdict to vectorize
+// and the decide flag is moot (the lane-parallel acyclicity verdict lives
+// in oracle-forest's Accept kernel).
+func (p ForestProtocol) VectorKernel(bool) lanes.Kernel {
+	return lanes.ConstWidthKernel(p.MessageBits)
 }
 
 // Reconstruct prunes leaves: a degree-1 vertex's sum field names its

@@ -147,7 +147,11 @@ func NewConnectivityOracle() *OracleDecider {
 // forests frugally but is not a Decider; this oracle gives sweeps a yes/no
 // acyclicity tally (labelled totals cross-check against OEIS A001858).
 func NewForestOracle() *OracleDecider {
-	return &OracleDecider{Label: "forest", Pred: (*graph.Graph).IsForest}
+	return &OracleDecider{
+		Label:  "forest",
+		Pred:   (*graph.Graph).IsForest,
+		Accept: (*lanes.Block).Forests,
+	}
 }
 
 // OracleReconstructor ships adjacency rows and returns the graph itself —

@@ -27,6 +27,7 @@ import (
 
 	"refereenet/internal/engine"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 )
 
 // Magic opens every corpus file.
@@ -195,16 +196,10 @@ func (s *FileSource) Next() *graph.Graph {
 		s.Close()
 		return nil
 	}
-	var rec [8]byte
-	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
-		return s.fail(fmt.Errorf("corpus: file truncated at record %d: %w", s.pos, err))
+	var mask uint64
+	if !s.readRecord(&mask) {
+		return nil
 	}
-	mask := binary.LittleEndian.Uint64(rec[:])
-	if edgeBits := uint(s.n * (s.n - 1) / 2); edgeBits < 64 && mask>>edgeBits != 0 {
-		return s.fail(fmt.Errorf("corpus: record %d mask %#x has bits beyond C(%d,2)=%d", s.pos, mask, s.n, edgeBits))
-	}
-	s.pos++
-	s.left--
 	if s.g == nil {
 		s.mask = mask
 		s.g = graph.FromEdgeMask(s.n, mask)
@@ -216,6 +211,55 @@ func (s *FileSource) Next() *graph.Graph {
 	}
 	s.mask = mask
 	return s.g
+}
+
+// readRecord pulls and validates one record into *mask, advancing the
+// cursor — the read shared by the scalar and block pulls. On a truncated
+// or corrupt record it parks the failure (fail) and reports false.
+func (s *FileSource) readRecord(mask *uint64) bool {
+	var rec [8]byte
+	if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+		s.fail(fmt.Errorf("corpus: file truncated at record %d: %w", s.pos, err))
+		return false
+	}
+	m := binary.LittleEndian.Uint64(rec[:])
+	if edgeBits := uint(s.n * (s.n - 1) / 2); edgeBits < 64 && m>>edgeBits != 0 {
+		s.fail(fmt.Errorf("corpus: record %d mask %#x has bits beyond C(%d,2)=%d", s.pos, m, s.n, edgeBits))
+		return false
+	}
+	s.pos++
+	s.left--
+	*mask = m
+	return true
+}
+
+// NextBlock implements engine.BlockSource: the next ≤ 64 records gathered
+// into one transposed block via lanes.Block.FillMasks (corpus records,
+// like class representatives, are arbitrary masks — nothing Gray-adjacent
+// to exploit). A record that goes bad mid-block still ends the stream and
+// parks the failure in Err: the good records before it are served as a
+// final partial block — exactly the graphs the scalar pull would have
+// yielded before failing — and the next call returns false. The scalar
+// toggle state (s.g, s.mask) is left untouched, so mixing Next and
+// NextBlock on one source stays correct.
+func (s *FileSource) NextBlock(blk *lanes.Block) bool {
+	if s.left == 0 || s.err != nil {
+		s.Close()
+		return false
+	}
+	var masks [lanes.Lanes]uint64
+	count := 0
+	for count < lanes.Lanes && s.left > 0 {
+		if !s.readRecord(&masks[count]) {
+			break
+		}
+		count++
+	}
+	if count == 0 {
+		return false
+	}
+	blk.FillMasks(s.n, masks[:count])
+	return true
 }
 
 // fail ends the stream with err: the fd is released immediately (a poisoned

@@ -9,6 +9,7 @@ import (
 
 	"refereenet/internal/engine"
 	"refereenet/internal/graph"
+	"refereenet/internal/lanes"
 
 	// Protocols for the execute-stage round trip through the "file" kind,
 	// and the "gray" source kind (plus the strawmen) for the n = 9
@@ -95,6 +96,111 @@ func TestFileSourceRecordRange(t *testing.T) {
 	}
 	if _, err := NewFileSource(path, 20, 10); err == nil {
 		t.Error("inverted range accepted")
+	}
+}
+
+// TestFileSourceNextBlock checks the block pull against the record list:
+// concatenated untransposed blocks are exactly the file's masks (ragged
+// tail included), mixing pull styles continues the stream, and a corrupt
+// record mid-block serves the good prefix as a partial block and parks the
+// failure in Err.
+func TestFileSourceNextBlock(t *testing.T) {
+	const n = 7
+	masks := randomMasks(n, 200, 4) // 3 full blocks + an 8-record tail
+	path := writeTestCorpus(t, n, masks)
+
+	src, err := NewFileSource(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blk lanes.Block
+	var got []uint64
+	for src.NextBlock(&blk) {
+		if blk.N() != n {
+			t.Fatalf("block holds n=%d graphs, corpus is n=%d", blk.N(), n)
+		}
+		for j := 0; j < blk.Count(); j++ {
+			got = append(got, blk.UntransposeMask(j))
+		}
+	}
+	if src.Err() != nil {
+		t.Fatalf("clean corpus ended with err: %v", src.Err())
+	}
+	if len(got) != len(masks) {
+		t.Fatalf("block pull drained %d records, corpus holds %d", len(got), len(masks))
+	}
+	for i, want := range masks {
+		if got[i] != want {
+			t.Fatalf("record %d: block mask %#x, file mask %#x", i, got[i], want)
+		}
+	}
+
+	// Mixing pull styles: scalar steps, then blocks, then scalar again.
+	mixed, err := NewFileSource(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []uint64
+	for i := 0; i < 10; i++ {
+		if g := mixed.Next(); g == nil {
+			t.Fatal("stream ended during scalar warm-up")
+		}
+		stream = append(stream, mixed.Mask())
+	}
+	if !mixed.NextBlock(&blk) {
+		t.Fatal("no block after scalar warm-up")
+	}
+	for j := 0; j < blk.Count(); j++ {
+		stream = append(stream, blk.UntransposeMask(j))
+	}
+	for g := mixed.Next(); g != nil; g = mixed.Next() {
+		if g.EdgeMask() != mixed.Mask() {
+			t.Fatalf("post-block toggled graph mask %#x disagrees with Mask() %#x", g.EdgeMask(), mixed.Mask())
+		}
+		stream = append(stream, mixed.Mask())
+	}
+	if len(stream) != len(masks) {
+		t.Fatalf("mixed stream yielded %d records, corpus holds %d", len(stream), len(masks))
+	}
+	for i, want := range masks {
+		if stream[i] != want {
+			t.Fatalf("mixed stream record %d: mask %#x, want %#x", i, stream[i], want)
+		}
+	}
+
+	// A record with edge bits beyond C(n,2) in the middle of a block: the
+	// good records before it arrive as a final partial block, the stream
+	// ends, and the failure parks in Err.
+	bad := append([]uint64(nil), masks[:100]...)
+	badPath := filepath.Join(t.TempDir(), "bad.corpus")
+	if err := WriteFile(badPath, n, bad); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record 70 in place (header is headerSize bytes, 8 per record).
+	raw[headerSize+8*70+7] = 0xFF
+	if err := os.WriteFile(badPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bsrc, err := NewFileSource(badPath, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := 0
+	for bsrc.NextBlock(&blk) {
+		drained += blk.Count()
+	}
+	if drained != 70 {
+		t.Fatalf("corrupt-at-70 corpus drained %d records via blocks, want 70", drained)
+	}
+	if bsrc.Err() == nil {
+		t.Fatal("corrupt corpus ended without Err")
+	}
+	if !strings.Contains(bsrc.Err().Error(), "record 70") {
+		t.Fatalf("err %q does not name record 70", bsrc.Err())
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"refereenet/internal/lanes"
 )
 
 // rawCorpus hand-assembles corpus bytes without Write's validation — the
@@ -82,6 +84,29 @@ func FuzzCorpusFile(f *testing.F) {
 		}
 		if src.Err() != nil && drained >= h.Count {
 			t.Fatalf("stream failed (%v) but still yielded all %d records", src.Err(), drained)
+		}
+
+		// The block pull over the same file must serve exactly the graphs
+		// the scalar pull did — a mid-block failure still parks in Err and
+		// the good records before it still arrive, as a partial block.
+		bsrc, err := NewFileSource(path, 0, 0)
+		if err != nil {
+			return
+		}
+		defer bsrc.Close()
+		var blk lanes.Block
+		var blockDrained uint64
+		for bsrc.NextBlock(&blk) {
+			if blk.N() != h.N {
+				t.Fatalf("block holds n=%d graphs from an n=%d corpus", blk.N(), h.N)
+			}
+			blockDrained += uint64(blk.Count())
+		}
+		if blockDrained != drained {
+			t.Fatalf("block pull drained %d records, scalar pull %d", blockDrained, drained)
+		}
+		if (bsrc.Err() != nil) != (src.Err() != nil) {
+			t.Fatalf("block pull err = %v, scalar pull err = %v", bsrc.Err(), src.Err())
 		}
 	})
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	mathbits "math/bits"
 	"runtime"
 	"sync"
 
@@ -51,6 +52,22 @@ type Weighted interface {
 type BlockSource interface {
 	Source
 	NextBlock(blk *lanes.Block) bool
+}
+
+// WeightedBlockSource is implemented by Weighted sources that can also
+// serve their stream as lanes.Blocks — the isomorphism-quotient plane,
+// whose class representatives are not Gray-adjacent and therefore gather
+// into blocks via lanes.Block.FillMasks. Weights fills w with the orbit
+// weight of each slot of the block most recently served by NextBlock
+// (dead-lane slots are zero); like the scalar Next/Weight pair, the
+// NextBlock/Weights pair is stateful and runs on one goroutine. The batch
+// engine takes this path only when the protocol's kernel exposes the
+// per-lane view (lanes.BlockStats.PerLane) needed to scale each lane by
+// its own weight.
+type WeightedBlockSource interface {
+	BlockSource
+	Weighted
+	Weights(w *[lanes.Lanes]uint64)
 }
 
 // Erring is implemented by sources that can fail mid-stream — a disk corpus
@@ -216,6 +233,7 @@ type batchScratch struct {
 	t     Transcript
 	blk   lanes.Block      // per-worker: block sources may run on pool goroutines
 	bs    lanes.BlockStats // per-block tally, reused so the hot loop stays 0 alloc
+	wts   [lanes.Lanes]uint64
 }
 
 // sized returns the n-message slice, growing the scratch on first need (the
@@ -393,11 +411,19 @@ func (b *Batch) dispatch(shards []batchShard) BatchStats {
 
 // runShard picks the shard's loop once — vector, buffered-arena, scheduled
 // or plain — instead of re-branching on the invariants inside the per-graph
-// hot loop. Weighted sources never take the vector path: orbit weights are
-// per-representative, lanes are per-rank.
+// hot loop. A Weighted source vectorizes only through the explicit
+// WeightedBlockSource capability (orbit weights are per-slot, so the fold
+// needs the kernel's per-lane view); a merely-Weighted BlockSource stays on
+// the scalar loop, where Next/Weight pair up.
 func (b *Batch) runShard(sh *batchShard, sc *batchScratch) {
 	sh.stats = BatchStats{}
 	src := sh.src
+	if b.vkern != nil && isWeighted(src) {
+		if ws, ok := src.(WeightedBlockSource); ok {
+			b.runWeightedBlocks(ws, &sh.stats, sc)
+			return
+		}
+	}
 	if b.vkern != nil && !isWeighted(src) {
 		if bs, ok := src.(BlockSource); ok {
 			b.runBlocks(bs, &sh.stats, sc)
@@ -441,6 +467,57 @@ func (s *BatchStats) foldBlock(o lanes.BlockStats) {
 	s.Accepted += o.Accepted
 	s.Rejected += o.Rejected
 	s.Errors += o.Errors
+}
+
+// runWeightedBlocks is the lane-parallel loop for orbit-weighted class
+// streams: each block holds 64 class representatives, the kernel's
+// per-lane view says which lanes are live (and, when deciding, which
+// accept), and the fold scales each lane by its own weight — so a canon
+// block reconstitutes the labelled totals of up to 64 whole isomorphism
+// orbits per kernel call.
+func (b *Batch) runWeightedBlocks(src WeightedBlockSource, st *BatchStats, sc *batchScratch) {
+	for src.NextBlock(&sc.blk) {
+		sc.bs = lanes.BlockStats{}
+		b.vkern(&sc.blk, &sc.bs)
+		src.Weights(&sc.wts)
+		st.foldBlockWeighted(&sc.bs, &sc.wts)
+	}
+}
+
+// foldBlockWeighted merges one block's tallies under per-lane weights,
+// mirroring the scalar account contract exactly: Graphs/TotalBits (and,
+// when the kernel decided, Accepted/Rejected) accumulate Σ weight[j]·bit j
+// over the live lanes instead of popcounts; MaxBits/MaxN are per-graph
+// maxima and stay unweighted. Kernels fold per-graph quantities that are
+// uniform across the block (TotalBits == Graphs·GraphBits), so the
+// weighted total is wsum·GraphBits.
+func (s *BatchStats) foldBlockWeighted(o *lanes.BlockStats, w *[lanes.Lanes]uint64) {
+	if o.Graphs == 0 {
+		return
+	}
+	if !o.PerLane {
+		panic("engine: vector kernel lacks the per-lane view required for weighted sources")
+	}
+	var wsum uint64
+	for live := o.Live; live != 0; live &= live - 1 {
+		wsum += w[mathbits.TrailingZeros64(live)]
+	}
+	s.Graphs += wsum
+	s.TotalBits += wsum * o.GraphBits
+	if o.MaxBits > s.MaxBits {
+		s.MaxBits = o.MaxBits
+	}
+	if o.MaxN > s.MaxN {
+		s.MaxN = o.MaxN
+	}
+	if o.Decided {
+		var wacc uint64
+		for a := o.Accept & o.Live; a != 0; a &= a - 1 {
+			wacc += w[mathbits.TrailingZeros64(a)]
+		}
+		s.Accepted += wacc
+		s.Rejected += wsum - wacc
+	}
 }
 
 // runShardBuffered is the arena hot loop: messages land in a reused byte

@@ -113,8 +113,8 @@ func TestVectorMatchesScalarN9Windows(t *testing.T) {
 		1<<36 - window,   // top of the plane
 		0x6ea53a9b0,      // arbitrary mid-plane offset
 	}
-	names := []string{"degree", "mod7", "hash16"}
-	deciders := []string{"oracle-triangle", "oracle-conn"}
+	names := []string{"degree", "mod7", "hash16", "forest"}
+	deciders := []string{"oracle-triangle", "oracle-conn", "oracle-forest"}
 	for _, lo := range los {
 		for _, name := range names {
 			vec, scalar := runBoth(t, name, n, lo, lo+window, false)

@@ -105,6 +105,65 @@ func (b *Block) FillGray(n int, lo uint64, count int) {
 	}
 }
 
+// FillMasks loads the block with len(masks) arbitrary edge-mask graphs on
+// n vertices — the gather fill for streams that are *not* Gray-adjacent
+// (isomorphism-class representatives, word-packed corpus records), where
+// FillGray's one-XOR-per-rank incremental walk does not apply. Slot j holds
+// masks[j]; dead lanes (len(masks) < 64) are zero in every lane and masked
+// out of LiveMask, the same ragged-tail guarantee FillGray gives. Lo
+// reports 0: gathered slots have no Gray rank.
+//
+// The gather is a straight 64×64 bit-matrix transpose (~6·64 word ops per
+// block, ~6 per graph — same order as the suffix-XOR fill), not 64 per-bit
+// insertions.
+//
+// FillMasks panics on out-of-range n or count and on masks with bits at or
+// beyond C(n,2); streaming sources validate records before serving blocks.
+func (b *Block) FillMasks(n int, masks []uint64) {
+	count := len(masks)
+	if n < 1 || n > graph.MaxSmallN {
+		panic(fmt.Sprintf("lanes: n=%d outside [1,%d]", n, graph.MaxSmallN))
+	}
+	if count < 1 || count > Lanes {
+		panic(fmt.Sprintf("lanes: block count %d outside [1,%d]", count, Lanes))
+	}
+	b.setN(n)
+	var rows [Lanes]uint64
+	var wide uint64
+	for j, m := range masks {
+		rows[j] = m
+		wide |= m
+	}
+	if b.edges < 64 && wide>>uint(b.edges) != 0 {
+		panic(fmt.Sprintf("lanes: mask bits at or beyond C(%d,2)=%d", n, b.edges))
+	}
+	b.lo = 0
+	b.count = count
+	b.live = ^uint64(0)
+	if count < Lanes {
+		b.live = 1<<uint(count) - 1
+	}
+	transpose64(&rows)
+	copy(b.lane[:b.edges], rows[:b.edges])
+}
+
+// transpose64 transposes the 64×64 bit matrix in place: bit c of word r
+// moves to bit r of word c. The classic recursive block swap (Hacker's
+// Delight §7-3): at stride j, exchange the low-j-bit halves of word pairs
+// (k, k+j), shrinking j from 32 to 1.
+func transpose64(a *[Lanes]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; {
+		for k := 0; k < Lanes; k = (k + int(j) + 1) &^ int(j) {
+			t := (a[k+int(j)] ^ (a[k] >> j)) & m
+			a[k+int(j)] ^= t
+			a[k] ^= t << j
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}
+
 // N returns the vertex count of the block's graphs.
 func (b *Block) N() int { return b.n }
 

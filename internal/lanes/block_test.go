@@ -1,6 +1,7 @@
 package lanes
 
 import (
+	"math/bits"
 	"math/rand"
 	"testing"
 
@@ -116,6 +117,189 @@ func TestFillGrayReuse(t *testing.T) {
 	}
 }
 
+// naiveGather builds the transpose of arbitrary masks the obvious way —
+// one bit insertion per (edge, slot) pair — as the reference for
+// FillMasks's word-level bit-matrix transpose.
+func naiveGather(n int, masks []uint64) [maxEdges]uint64 {
+	var want [maxEdges]uint64
+	edges := n * (n - 1) / 2
+	for j, mask := range masks {
+		for e := 0; e < edges; e++ {
+			want[e] |= (mask >> uint(e) & 1) << uint(j)
+		}
+	}
+	return want
+}
+
+func checkGather(t *testing.T, b *Block, n int, masks []uint64) {
+	t.Helper()
+	want := naiveGather(n, masks)
+	for e := 0; e < b.Edges(); e++ {
+		if b.EdgeLane(e) != want[e] {
+			t.Fatalf("n=%d count=%d: lane %d = %#x, naive gather says %#x",
+				n, len(masks), e, b.EdgeLane(e), want[e])
+		}
+		if b.EdgeLane(e)&^b.LiveMask() != 0 {
+			t.Fatalf("n=%d count=%d: lane %d has dead-slot bits %#x",
+				n, len(masks), e, b.EdgeLane(e)&^b.LiveMask())
+		}
+	}
+	for j, mask := range masks {
+		if got := b.UntransposeMask(j); got != mask {
+			t.Fatalf("n=%d count=%d: slot %d untransposes to %#x, gathered mask was %#x",
+				n, len(masks), j, got, mask)
+		}
+	}
+}
+
+// TestFillMasksRandom drives the gather fill with random masks across every
+// n and a sweep of ragged counts, against the naive per-bit build and the
+// untranspose round-trip.
+func TestFillMasksRandom(t *testing.T) {
+	var b Block
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(graph.MaxSmallN)
+		edges := uint(n * (n - 1) / 2)
+		count := 1 + rng.Intn(Lanes)
+		masks := make([]uint64, count)
+		for j := range masks {
+			masks[j] = rng.Uint64()
+			if edges < 64 {
+				masks[j] &= 1<<edges - 1
+			}
+		}
+		b.FillMasks(n, masks)
+		if b.N() != n || b.Count() != count || b.Lo() != 0 {
+			t.Fatalf("trial %d: block reports n=%d count=%d lo=%d, filled n=%d count=%d",
+				trial, b.N(), b.Count(), b.Lo(), n, count)
+		}
+		checkGather(t, &b, n, masks)
+	}
+}
+
+// TestFillMasksEqualsFillGray feeds FillMasks the Gray codes of consecutive
+// ranks: the two fills must produce identical blocks lane for lane — the
+// gather is a generalization, not a different transpose.
+func TestFillMasksEqualsFillGray(t *testing.T) {
+	var bg, bm Block
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(8)
+		total := uint64(1) << uint(n*(n-1)/2)
+		count := 1 + rng.Intn(Lanes)
+		if uint64(count) > total {
+			count = int(total)
+		}
+		lo := uint64(rng.Int63n(int64(total - uint64(count) + 1)))
+		bg.FillGray(n, lo, count)
+		masks := make([]uint64, count)
+		for j := range masks {
+			masks[j] = gray(lo + uint64(j))
+		}
+		bm.FillMasks(n, masks)
+		if bg.LiveMask() != bm.LiveMask() {
+			t.Fatalf("n=%d lo=%d count=%d: live masks differ: gray %#x, gather %#x",
+				n, lo, count, bg.LiveMask(), bm.LiveMask())
+		}
+		for e := 0; e < bg.Edges(); e++ {
+			if bg.EdgeLane(e) != bm.EdgeLane(e) {
+				t.Fatalf("n=%d lo=%d count=%d: lane %d: gray fill %#x, gather fill %#x",
+					n, lo, count, e, bg.EdgeLane(e), bm.EdgeLane(e))
+			}
+		}
+	}
+}
+
+// TestFillMasksPanics pins the argument validation: out-of-range n or
+// count, and masks with bits at or beyond C(n,2).
+func TestFillMasksPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	var b Block
+	expectPanic("n=0", func() { b.FillMasks(0, []uint64{0}) })
+	expectPanic("n too big", func() { b.FillMasks(graph.MaxSmallN+1, []uint64{0}) })
+	expectPanic("empty masks", func() { b.FillMasks(5, nil) })
+	expectPanic("too many masks", func() { b.FillMasks(5, make([]uint64, Lanes+1)) })
+	expectPanic("mask too wide", func() { b.FillMasks(5, []uint64{1 << 10}) }) // C(5,2)=10
+}
+
+// TestPerLaneViewConsistency pins the kernel constructors' per-lane view
+// against their aggregate counters — the lanes-level form of "a weighted
+// fold with all-ones weights equals the unweighted fold": when every
+// weight is 1, Σ weight[j]·bit j IS the popcount the aggregates hold.
+func TestPerLaneViewConsistency(t *testing.T) {
+	width := func(n int) int { return n }
+	kern := DecideKernel(width, (*Block).Forests, true)
+	var b Block
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		total := uint64(1) << uint(n*(n-1)/2)
+		count := 1 + rng.Intn(Lanes)
+		if uint64(count) > total {
+			count = int(total)
+		}
+		lo := uint64(rng.Int63n(int64(total - uint64(count) + 1)))
+		b.FillGray(n, lo, count)
+		var st BlockStats
+		kern(&b, &st)
+		if !st.PerLane || !st.Decided {
+			t.Fatalf("decide kernel left PerLane=%v Decided=%v", st.PerLane, st.Decided)
+		}
+		if st.Live != b.LiveMask() {
+			t.Fatalf("view Live %#x, block live %#x", st.Live, b.LiveMask())
+		}
+		if got := uint64(bits.OnesCount64(st.Live)); got != st.Graphs {
+			t.Fatalf("bits.OnesCount64(Live)=%d, Graphs=%d", got, st.Graphs)
+		}
+		if st.Graphs*st.GraphBits != st.TotalBits {
+			t.Fatalf("Graphs·GraphBits = %d·%d, TotalBits=%d", st.Graphs, st.GraphBits, st.TotalBits)
+		}
+		if got := uint64(bits.OnesCount64(st.Accept & st.Live)); got != st.Accepted {
+			t.Fatalf("bits.OnesCount64(Accept&Live)=%d, Accepted=%d", got, st.Accepted)
+		}
+		if st.Accepted+st.Rejected != st.Graphs {
+			t.Fatalf("Accepted %d + Rejected %d != Graphs %d", st.Accepted, st.Rejected, st.Graphs)
+		}
+	}
+	// The width-only constructor fills the view too, minus the verdict.
+	var st BlockStats
+	b.FillGray(6, 100, 40)
+	ConstWidthKernel(width)(&b, &st)
+	if !st.PerLane || st.Decided {
+		t.Fatalf("const-width kernel left PerLane=%v Decided=%v", st.PerLane, st.Decided)
+	}
+	if st.Live != b.LiveMask() || st.GraphBits != 6*6 {
+		t.Fatalf("const-width view Live=%#x GraphBits=%d", st.Live, st.GraphBits)
+	}
+}
+
+// TestCounterOne checks the exactly-one circuit against scalar values, one
+// value per lane.
+func TestCounterOne(t *testing.T) {
+	for base := 0; base < 1<<CounterPlanes; base += Lanes {
+		var c Counter
+		for j := 0; j < Lanes; j++ {
+			v := (base + j) % (1 << CounterPlanes)
+			c.AddMasked(uint64(v), 1<<uint(j))
+		}
+		one := c.One()
+		for j := 0; j < Lanes; j++ {
+			v := (base + j) % (1 << CounterPlanes)
+			if got, want := one>>uint(j)&1 != 0, v == 1; got != want {
+				t.Fatalf("value %d: One circuit says %v", v, got)
+			}
+		}
+	}
+}
+
 // TestCounterAddMasked cross-checks the ripple-carry adder against 64
 // independent scalar accumulators under random masked adds.
 func TestCounterAddMasked(t *testing.T) {
@@ -172,11 +356,11 @@ func TestCounterModCircuits(t *testing.T) {
 func scalarCheck(t *testing.T, b *Block) {
 	t.Helper()
 	n := b.N()
-	tri, sq, conn := b.Triangles(), b.Squares(), b.Connected()
+	tri, sq, conn, fst := b.Triangles(), b.Squares(), b.Connected(), b.Forests()
 	for _, w := range []struct {
 		name string
 		bits uint64
-	}{{"triangles", tri}, {"squares", sq}, {"connected", conn}} {
+	}{{"triangles", tri}, {"squares", sq}, {"connected", conn}, {"forests", fst}} {
 		if w.bits&^b.LiveMask() != 0 {
 			t.Fatalf("%s kernel sets dead-lane bits %#x", w.name, w.bits&^b.LiveMask())
 		}
@@ -217,6 +401,9 @@ func scalarCheck(t *testing.T, b *Block) {
 		}
 		if got, want := conn&lane != 0, g.IsConnected(); got != want {
 			t.Fatalf("slot %d (mask %#x): lane connected %v, scalar %v", j, g.EdgeMask(), got, want)
+		}
+		if got, want := fst&lane != 0, g.IsForest(); got != want {
+			t.Fatalf("slot %d (mask %#x): lane forest %v, scalar %v", j, g.EdgeMask(), got, want)
 		}
 	}
 }

@@ -1,14 +1,21 @@
 package lanes
 
 import (
+	"math/bits"
 	"testing"
 )
+
+func popcount64(v uint64) int { return bits.OnesCount64(v) }
 
 // FuzzLaneBlock fuzzes FillGray over random (n, lo, count) windows:
 //   - transpose → untranspose is the identity (slot j yields gray(lo+j)),
 //   - the incremental Gray-step lane update equals a rebuild from scratch,
+//   - FillMasks over the same Gray-consecutive masks equals FillGray (the
+//     gather transpose is a generalization, not a different layout),
 //   - ragged tail masks leak no bits from dead lanes, in the edge words or
-//     in any kernel output.
+//     in any kernel output,
+//   - the kernel constructors' per-lane view is consistent with their
+//     aggregate counters — the all-ones weighted fold IS the unweighted one.
 func FuzzLaneBlock(f *testing.F) {
 	f.Add(uint8(5), uint64(0), uint8(64))
 	f.Add(uint8(9), uint64(1<<32-13), uint8(64))
@@ -53,12 +60,50 @@ func FuzzLaneBlock(f *testing.F) {
 			{"triangles", b.Triangles()},
 			{"squares", b.Squares()},
 			{"connected", b.Connected()},
+			{"forests", b.Forests()},
 			{"parity", b.DegreeParity(1)},
 		} {
 			if k.bits&^live != 0 {
 				t.Fatalf("n=%d lo=%d count=%d: %s kernel sets dead-lane bits %#x",
 					n, lo, count, k.name, k.bits&^live)
 			}
+		}
+
+		// The gather fill over the same Gray-consecutive masks must rebuild
+		// the identical block.
+		masks := make([]uint64, count)
+		for j := range masks {
+			r := lo + uint64(j)
+			masks[j] = r ^ (r >> 1)
+		}
+		var bm Block
+		bm.FillMasks(n, masks)
+		if bm.LiveMask() != live {
+			t.Fatalf("n=%d lo=%d count=%d: gather live %#x, gray live %#x",
+				n, lo, count, bm.LiveMask(), live)
+		}
+		for e := 0; e < b.Edges(); e++ {
+			if bm.EdgeLane(e) != b.EdgeLane(e) {
+				t.Fatalf("n=%d lo=%d count=%d: lane %d: gather %#x, gray %#x",
+					n, lo, count, e, bm.EdgeLane(e), b.EdgeLane(e))
+			}
+		}
+
+		// Per-lane view vs aggregates: with every weight 1, the weighted fold
+		// Σ weight[j]·bit j degenerates to the popcounts the aggregates hold.
+		var st BlockStats
+		DecideKernel(func(n int) int { return n }, (*Block).Forests, true)(&b, &st)
+		if !st.PerLane || !st.Decided {
+			t.Fatalf("decide kernel left PerLane=%v Decided=%v", st.PerLane, st.Decided)
+		}
+		if st.Live != live {
+			t.Fatalf("view Live %#x, block live %#x", st.Live, live)
+		}
+		if uint64(popcount64(st.Live)) != st.Graphs ||
+			st.Graphs*st.GraphBits != st.TotalBits ||
+			uint64(popcount64(st.Accept&st.Live)) != st.Accepted ||
+			st.Accepted+st.Rejected != st.Graphs {
+			t.Fatalf("per-lane view inconsistent with aggregates: %+v", st)
 		}
 	})
 }

@@ -100,6 +100,56 @@ func (b *Block) Squares() uint64 {
 	return acc
 }
 
+// Forests reports, per lane, whether the graph is acyclic: 64 simultaneous
+// leaf-stripping passes. Each round counts degrees with the ripple-carry
+// counters, marks the lanes where each vertex is a leaf (degree exactly 1),
+// and clears every edge incident to a leaf in those lanes. A forest loses
+// at least its outermost leaf layer per round and empties; a 2-core — any
+// cycle — never produces a leaf and survives, so a lane is a forest iff its
+// working edge lanes all reach zero. An isolated K2 clears in one round
+// (both endpoints are leaves). Dead lanes hold the empty graph, which
+// strips trivially, but the verdict is confined to LiveMask anyway since
+// the empty graph *is* a forest.
+func (b *Block) Forests() uint64 {
+	n := b.n
+	var work [maxEdges]uint64
+	remaining := uint64(0)
+	for e := 0; e < b.edges; e++ {
+		work[e] = b.lane[e]
+		remaining |= work[e]
+	}
+	var deg Counter
+	var leaf [graph.MaxSmallN + 1]uint64
+	for remaining != 0 {
+		for v := 1; v <= n; v++ {
+			deg.Reset()
+			for u := 1; u <= n; u++ {
+				if u == v {
+					continue
+				}
+				deg.AddMasked(1, work[b.idx[v][u]])
+			}
+			leaf[v] = deg.One()
+		}
+		stripped := uint64(0)
+		remaining = 0
+		for e := 0; e < b.edges; e++ {
+			kill := work[e] & (leaf[b.us[e]] | leaf[b.vs[e]])
+			work[e] &^= kill
+			stripped |= kill
+			remaining |= work[e]
+		}
+		if stripped == 0 {
+			break // only 2-cores left: every remaining lane is cyclic
+		}
+	}
+	acc := b.live
+	for e := 0; e < b.edges; e++ {
+		acc &^= work[e]
+	}
+	return acc
+}
+
 // Connected reports, per lane, whether the graph is connected: 64
 // simultaneous reachability closures from vertex 1, propagated along edge
 // lanes. Relaxing every edge once per pass extends every shortest path by

@@ -14,6 +14,21 @@ type BlockStats struct {
 	Accepted  uint64
 	Rejected  uint64
 	Errors    uint64
+
+	// Per-lane view, for weighted folds (orbit-weighted class blocks): the
+	// aggregate counters above weigh every lane equally, but a weighted
+	// source needs to know *which* lanes contributed so it can scale each by
+	// its own weight. Kernels that fill these set PerLane; Live is the
+	// block's live mask, GraphBits the per-graph message-bit total (so
+	// TotalBits == Graphs·GraphBits), and Accept the verdict word (valid
+	// only when Decided). The in-tree kernel constructors always fill the
+	// view; a hand-rolled kernel that leaves PerLane false simply cannot
+	// serve weighted sources.
+	Live      uint64
+	Accept    uint64
+	GraphBits uint64
+	PerLane   bool
+	Decided   bool
 }
 
 // Kernel evaluates one transposed block, adding its tallies into st. The
@@ -31,7 +46,8 @@ type Kernel func(b *Block, st *BlockStats)
 // c live graphs × n nodes × width(n) bits.
 func ConstWidthKernel(width func(n int) int) Kernel {
 	return func(b *Block, st *BlockStats) {
-		c := uint64(bits.OnesCount64(b.LiveMask()))
+		live := b.LiveMask()
+		c := uint64(bits.OnesCount64(live))
 		if c == 0 {
 			return
 		}
@@ -45,6 +61,9 @@ func ConstWidthKernel(width func(n int) int) Kernel {
 		if n > st.MaxN {
 			st.MaxN = n
 		}
+		st.Live = live
+		st.GraphBits = uint64(n) * uint64(w)
+		st.PerLane = true
 	}
 }
 
@@ -65,5 +84,7 @@ func DecideKernel(width func(n int) int, accept func(b *Block) uint64, decide bo
 		na := uint64(bits.OnesCount64(a))
 		st.Accepted += na
 		st.Rejected += uint64(bits.OnesCount64(live)) - na
+		st.Accept = a
+		st.Decided = true
 	}
 }
