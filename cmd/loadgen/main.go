@@ -1,0 +1,258 @@
+// Command loadgen drives the sweep-as-a-service job API (refereesim serve
+// -http) with K concurrent clients replaying the same query mix — the
+// "millions of users asking the referee the same question" shape from the
+// paper's service framing. It reports the client-observed latency quantiles
+// and the cache hit rate, which together say whether the memoization layer
+// is doing its job: after the first execution, repeat latency should be
+// HTTP round-trip time, not sweep time.
+//
+// Usage:
+//
+//	refereesim serve -listen :0 -http :8080 -parallel 2 &
+//	loadgen -url http://127.0.0.1:8080 -c 8 -n 64
+//
+// By default every request submits the same built-in plan (so everything
+// after the first execution is a cache hit or a coalesced join); -plan
+// replays a plan JSON file, and -distinct D cycles D fingerprint-distinct
+// variants to exercise eviction and admission control.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"refereenet/internal/engine"
+	"refereenet/internal/sweep"
+)
+
+type jobView struct {
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Error     string `json:"error"`
+	Cached    bool   `json:"cached"`
+	Coalesced bool   `json:"coalesced"`
+}
+
+type tally struct {
+	mu        sync.Mutex
+	durations []time.Duration
+	hits      int
+	coalesced int
+	executed  int
+	rejected  int
+	failed    int
+}
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:8080", "service base URL")
+	clients := flag.Int("c", 4, "concurrent clients")
+	requests := flag.Int("n", 32, "total requests")
+	planPath := flag.String("plan", "", "plan JSON file to submit (default: built-in gray sweep)")
+	protocol := flag.String("protocol", "hash16", "built-in plan: protocol name")
+	graphN := flag.Int("graph-n", 6, "built-in plan: graph size")
+	units := flag.Int("units", 4, "built-in plan: shard count")
+	distinct := flag.Int("distinct", 1, "cycle this many fingerprint-distinct plan variants")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request completion deadline")
+	flag.Parse()
+
+	plans, err := buildPlans(*planPath, *protocol, *graphN, *units, *distinct)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		t     tally
+		wg    sync.WaitGroup
+		next  = make(chan int)
+		start = time.Now()
+	)
+	go func() {
+		for i := 0; i < *requests; i++ {
+			next <- i
+		}
+		close(next)
+	}()
+	wg.Add(*clients)
+	for c := 0; c < *clients; c++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runRequest(*url, plans[i%len(plans)], *timeout, &t)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.durations)
+	fmt.Printf("loadgen: %d requests, %d clients, %d distinct plans in %v\n",
+		*requests, *clients, len(plans), elapsed.Round(time.Millisecond))
+	fmt.Printf("hits=%d coalesced=%d executed=%d rejected=%d failed=%d hit_rate=%.1f%%\n",
+		t.hits, t.coalesced, t.executed, t.rejected, t.failed,
+		100*float64(t.hits)/float64(max(1, n)))
+	if n > 0 {
+		sort.Slice(t.durations, func(i, j int) bool { return t.durations[i] < t.durations[j] })
+		fmt.Printf("latency p50=%v p99=%v max=%v\n",
+			quantile(t.durations, 0.50).Round(time.Microsecond),
+			quantile(t.durations, 0.99).Round(time.Microsecond),
+			t.durations[n-1].Round(time.Microsecond))
+	}
+	if t.failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildPlans returns the cycle of plan bodies to submit. Variants differ in
+// their trailing shard's Seed-free range split, which changes the
+// fingerprint without changing the total work shape much.
+func buildPlans(path, protocol string, n, units, distinct int) ([][]byte, error) {
+	if distinct < 1 {
+		distinct = 1
+	}
+	if path != "" {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var plan engine.Plan
+		if err := json.Unmarshal(raw, &plan); err != nil {
+			return nil, fmt.Errorf("loadgen: %s is not a plan: %w", path, err)
+		}
+		return [][]byte{raw}, nil
+	}
+	total := uint64(1) << uint(n*(n-1)/2)
+	var plans [][]byte
+	for v := 0; v < distinct; v++ {
+		// Variant v sweeps [0, total-v): distinct fingerprints, same shape.
+		plan, err := sweep.SplitGrayRanks(engine.ShardSpec{Protocol: protocol}, n, 0, total-uint64(v), units)
+		if err != nil {
+			return nil, err
+		}
+		raw, err := json.Marshal(plan)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, raw)
+	}
+	return plans, nil
+}
+
+// runRequest submits one plan and follows it to a terminal answer, retrying
+// through 429 backpressure. The recorded duration is submission to answer —
+// for a cache hit that is one HTTP round trip.
+func runRequest(base string, plan []byte, timeout time.Duration, t *tally) {
+	deadline := time.Now().Add(timeout)
+	for {
+		start := time.Now()
+		resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(plan))
+		if err != nil {
+			t.fail("POST: %v", err)
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests:
+			t.mu.Lock()
+			t.rejected++
+			t.mu.Unlock()
+			wait := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if secs, err := strconv.Atoi(s); err == nil {
+					wait = time.Duration(secs) * time.Second
+				}
+			}
+			if time.Now().Add(wait).After(deadline) {
+				t.fail("gave up after 429 backpressure")
+				return
+			}
+			time.Sleep(wait)
+			continue
+		case http.StatusOK, http.StatusAccepted:
+			var v jobView
+			if err := json.Unmarshal(body, &v); err != nil {
+				t.fail("bad response %s: %v", body, err)
+				return
+			}
+			// Cached/Coalesced describe how the POST was answered; remember
+			// them before polling overwrites the view with GET snapshots.
+			cached, coalesced := v.Cached, v.Coalesced
+			if v.Status != "done" && v.Status != "failed" {
+				if v = pollJob(base, v.ID, deadline); v.ID == "" {
+					t.fail("job never finished")
+					return
+				}
+			}
+			if v.Status == "failed" {
+				t.fail("job failed: %s", v.Error)
+				return
+			}
+			t.mu.Lock()
+			t.durations = append(t.durations, time.Since(start))
+			switch {
+			case cached:
+				t.hits++
+			case coalesced:
+				t.coalesced++
+			default:
+				t.executed++
+			}
+			t.mu.Unlock()
+			return
+		default:
+			t.fail("POST /jobs: %d %s", resp.StatusCode, body)
+			return
+		}
+	}
+}
+
+func pollJob(base, id string, deadline time.Time) jobView {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			return jobView{}
+		}
+		var v jobView
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return jobView{}
+		}
+		if v.Status == "done" || v.Status == "failed" {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return jobView{}
+}
+
+func (t *tally) fail(format string, args ...interface{}) {
+	t.mu.Lock()
+	t.failed++
+	t.mu.Unlock()
+	log.Printf("loadgen: "+format, args...)
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -7,11 +7,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"refereenet/internal/engine"
+	"refereenet/internal/service"
 	"refereenet/internal/sweep"
 )
 
@@ -19,10 +22,21 @@ import (
 // that accepts sweep coordinator connections and serves the JSON-lines
 // Unit/Result protocol on each, behind the registry-fingerprint handshake.
 // Point `refereesim sweep -connect host:port` (from any machine) at it.
+//
+// With -http it additionally serves the sweep-as-a-service job API
+// (internal/service): POST /jobs takes the same plan JSON `sweep -dump-plan`
+// emits, results are cached by plan fingerprint, and GET /metrics exposes
+// the counters. Both surfaces execute over ONE shared pool of -parallel
+// workers, so total execution concurrency stays bounded however work
+// arrives.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	listen := fs.String("listen", ":7171", "TCP address to accept sweep coordinators on (host:port; port 0 picks a free one)")
+	httpAddr := fs.String("http", "", "also serve the HTTP job API on this address (host:port; port 0 picks a free one); empty disables it")
 	parallel := fs.Int("parallel", 1, "shared execution pool size: units from ALL accepted connections fan out over k pool workers (splittable units run k-way parallel), so one daemon stands in for k single-threaded ones; 1 executes each connection's units on its own goroutine")
+	jobs := fs.Int("jobs", 2, "with -http: concurrent job executions (queue beyond that, 429 beyond the queue)")
+	queueDepth := fs.Int("queue", 16, "with -http: admission queue depth before submissions are rejected 429")
+	cacheSize := fs.Int("cache", 256, "with -http: result cache entries (keyed by plan fingerprint; negative disables)")
 	verbose := fs.Bool("v", false, "log every connection to stderr")
 	fs.Parse(args)
 
@@ -40,13 +54,52 @@ func runServe(args []string) {
 	if *verbose {
 		logw = os.Stderr
 	}
+
+	// With -http the pool is created here and shared by both surfaces;
+	// without it Serve keeps its original owned-pool behavior.
+	serveOpts := sweep.ServeOptions{Log: logw, Parallel: *parallel}
+	var (
+		svc  *service.Server
+		hs   *http.Server
+		exec *sweep.Executor
+	)
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exec = sweep.NewExecutor(*parallel)
+		serveOpts.Executor = exec
+		svc = service.New(service.Config{
+			Executor:   exec,
+			MaxJobs:    *jobs,
+			QueueDepth: *queueDepth,
+			CacheSize:  *cacheSize,
+			Log:        logw,
+		})
+		hs = &http.Server{Handler: svc.Handler()}
+		go hs.Serve(hl)
+		fmt.Printf("http listening %s jobs=/jobs metrics=/metrics\n", hl.Addr())
+		os.Stdout.Sync()
+	}
+
 	// SIGTERM/SIGINT triggers a graceful drain: stop accepting, finish and
 	// flush every in-flight unit, then exit 0 — so restarting a fleet daemon
 	// costs the coordinators a retry, never a half-computed unit.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := sweep.Serve(l, sweep.ServeOptions{Log: logw, Parallel: *parallel, Context: ctx}); err != nil {
+	serveOpts.Context = ctx
+	if err := sweep.Serve(l, serveOpts); err != nil {
 		log.Fatal(err)
+	}
+	if svc != nil {
+		// TCP surface drained; now the HTTP one: stop accepting, let
+		// running jobs finish (Close waits), then close the shared pool.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		hs.Shutdown(shutdownCtx)
+		cancel()
+		svc.Close()
+		exec.Close()
 	}
 	if ctx.Err() != nil {
 		fmt.Println("serve: drained cleanly after signal")

@@ -1,0 +1,70 @@
+package service
+
+import "container/list"
+
+// resultCache memoizes completed jobs by plan fingerprint with
+// least-recently-used eviction. The "millions of users" access pattern is
+// mostly repeat queries, so the cache is the service's fast path: a POST
+// whose plan fingerprints onto a cached job is answered from the stored
+// BatchStats without touching the executor pool at all.
+//
+// The cache stores the terminal *job* rather than bare stats so a hit can
+// return the original job's identity (its ID stays GETtable) and its
+// SweepReport alongside the stats. Only successful jobs are cached: a
+// failure is not an answer, and callers retrying a failed plan should
+// re-execute it.
+//
+// resultCache is not goroutine-safe; the Server serializes access under its
+// own mutex, which also keeps the hit/insert path atomic with the
+// singleflight map.
+type resultCache struct {
+	max  int
+	ll   *list.List // front = most recently used; values are *job
+	byFP map[string]*list.Element
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), byFP: make(map[string]*list.Element)}
+}
+
+// get returns the cached job for a fingerprint, refreshing its recency.
+func (c *resultCache) get(fp string) (*job, bool) {
+	el, ok := c.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*job), true
+}
+
+// put inserts (or refreshes) a terminal job and returns how many entries
+// were evicted to stay within the bound.
+func (c *resultCache) put(j *job) (evicted int) {
+	if c.max <= 0 {
+		return 0
+	}
+	if el, ok := c.byFP[j.fingerprint]; ok {
+		el.Value = j
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.byFP[j.fingerprint] = c.ll.PushFront(j)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byFP, oldest.Value.(*job).fingerprint)
+		evicted++
+	}
+	return evicted
+}
+
+// holds reports whether this exact job is the cache's entry for its
+// fingerprint — the guard job-history eviction uses to keep cached jobs
+// GETtable by the ID a cache-hit response carries.
+func (c *resultCache) holds(j *job) bool {
+	el, ok := c.byFP[j.fingerprint]
+	return ok && el.Value.(*job) == j
+}
+
+// len reports the current entry count (the cache_size gauge).
+func (c *resultCache) len() int { return c.ll.Len() }

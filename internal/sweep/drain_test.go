@@ -123,6 +123,66 @@ func TestServeDrainMidSweepFailsOver(t *testing.T) {
 	}
 }
 
+// The serve-drain deadline race: a connection whose handshake completes
+// concurrently with cancellation must not clear the drain sweep's
+// SetReadDeadline(now) poke — with the poke erased, the connection's first
+// unit read blocks forever and Serve never returns. The test hook holds the
+// connection goroutine in exactly the window between a successful handshake
+// and the deadline reset while the drain fires, then releases it and
+// demands that Serve still returns.
+func TestServeDrainRacesHandshakeCompletion(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	testHookPostHandshake = func() {
+		close(entered)
+		<-release
+	}
+	defer func() { testHookPostHandshake = nil }()
+
+	addr, cancel, logw, done := drainDaemon(t, 1)
+	tr := &TCP{Addrs: []string{addr}}
+	conn, err := tr.Dial() // completes the client half of the handshake
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// The server side finished its handshake and is parked in the hook.
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never reached the post-handshake window")
+	}
+	cancel()
+	// Wait for the drain goroutine's deadline sweep: it logs before poking
+	// the live connections, so once the line appears the pokes are at most
+	// microseconds away — the grace sleep makes them certain.
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(logw.String(), "drain:") {
+		if time.Now().After(deadline) {
+			t.Fatal("drain sweep never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	// The fixed daemon re-checks draining under liveMu instead of clearing
+	// the poked deadline, so the connection's first read fails immediately
+	// and the drain completes. The broken daemon hangs in conns.Wait().
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drained Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve hung: handshake completion cleared the drain's deadline poke")
+	}
+	if _, err := conn.RoundTrip(Unit{ID: 1}); err == nil {
+		t.Error("round-trip on a drained connection succeeded")
+	}
+}
+
 // A drain must wait for the unit executing at cancel time: the worker
 // finishes it, flushes the result, and only then hangs up — the coordinator
 // keeps that result and re-runs nothing it already has.

@@ -27,6 +27,8 @@ import (
 type Executor struct {
 	workers int
 	tasks   chan execTask
+	done    chan struct{}
+	closed  sync.Once
 	wg      sync.WaitGroup
 }
 
@@ -50,18 +52,29 @@ type execOutcome struct {
 // the drain loop never reports it over the sibling's real error.
 var errAbandoned = errors.New("sweep: sub-shard abandoned after a sibling failed")
 
+// errPoolClosed marks sub-shards that could not be submitted because the
+// pool shut down. Unlike errAbandoned it is a real unit failure: the
+// coordinator's retry path re-dispatches the unit to a live worker.
+var errPoolClosed = errors.New("sweep: executor closed")
+
 // NewExecutor starts a pool of workers goroutines (minimum 1). Close it to
 // release them.
 func NewExecutor(workers int) *Executor {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &Executor{workers: workers, tasks: make(chan execTask)}
+	e := &Executor{workers: workers, tasks: make(chan execTask), done: make(chan struct{})}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer e.wg.Done()
-			for t := range e.tasks {
+			for {
+				var t execTask
+				select {
+				case <-e.done:
+					return
+				case t = <-e.tasks:
+				}
 				if t.abandon.Load() {
 					t.out <- execOutcome{err: errAbandoned}
 					continue
@@ -80,10 +93,14 @@ func NewExecutor(workers int) *Executor {
 // Workers returns the pool size.
 func (e *Executor) Workers() int { return e.workers }
 
-// Close stops the pool's goroutines. In-flight sub-shards finish; Execute
-// must not be called afterwards.
+// Close stops the pool's goroutines and waits for in-flight sub-shards to
+// finish. It is idempotent and safe to call concurrently with Execute: the
+// pool's lifetime is signalled on a done channel rather than by closing the
+// task channel, so a racing submitter (a coordinator's last round-trip
+// landing while a daemon shuts down, or a job-service runner racing service
+// shutdown) gets an error Result instead of a send-on-closed-channel panic.
 func (e *Executor) Close() {
-	close(e.tasks)
+	e.closed.Do(func() { close(e.done) })
 	e.wg.Wait()
 }
 
@@ -94,7 +111,9 @@ func (e *Executor) Close() {
 // never submit, so submission always drains). If any sub-shard fails, the
 // unit fails — partial stats must never merge into a coordinator's totals —
 // and its remaining sub-shards are abandoned rather than executed, so a
-// doomed unit cannot starve the other connections' work.
+// doomed unit cannot starve the other connections' work. Execute racing or
+// following Close yields a Result whose Err reports the closed pool, never a
+// panic.
 func (e *Executor) Execute(u Unit) Result {
 	parts := engine.SplitShard(u.Spec, e.workers)
 	out := make(chan execOutcome, len(parts))
@@ -105,7 +124,15 @@ func (e *Executor) Execute(u Unit) Result {
 				out <- execOutcome{err: errAbandoned}
 				continue
 			}
-			e.tasks <- execTask{spec: spec, out: out, abandon: &abandon}
+			// Guard the submission with the pool's lifetime: a closed pool
+			// fails the sub-shard (dooming the unit to Result.Err, which the
+			// coordinator retries elsewhere) instead of panicking the daemon.
+			select {
+			case e.tasks <- execTask{spec: spec, out: out, abandon: &abandon}:
+			case <-e.done:
+				abandon.Store(true)
+				out <- execOutcome{err: errPoolClosed}
+			}
 		}
 	}()
 	var total engine.BatchStats

@@ -190,3 +190,70 @@ func TestExecutorRecoversPanickingUnit(t *testing.T) {
 		t.Errorf("good unit after a panic: %+v", ok)
 	}
 }
+
+// Close racing Execute — a coordinator's last round-trip landing while the
+// daemon releases the pool, or a job-service runner racing service
+// shutdown — must yield an error Result for the unit, never a
+// send-on-closed-channel panic. Run under -race this also checks the
+// lifetime signalling itself.
+func TestExecutorCloseVsExecuteRace(t *testing.T) {
+	unit := func(id int) Unit {
+		return Unit{ID: id, Spec: engine.ShardSpec{
+			Protocol: "hash16",
+			Source:   engine.SourceSpec{Kind: "gray", N: 5, Lo: 0, Hi: 1 << 10},
+		}}
+	}
+	want := executeUnit(unit(0)).Stats
+	for trial := 0; trial < 25; trial++ {
+		pool := NewExecutor(2)
+		const execs = 4
+		results := make([]Result, execs)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < execs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				results[i] = pool.Execute(unit(i))
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			pool.Close()
+		}()
+		close(start)
+		wg.Wait()
+		for i, res := range results {
+			switch {
+			case res.Err == "":
+				if res.Stats != want {
+					t.Fatalf("trial %d: unit %d executed with wrong stats %+v, want %+v", trial, i, res.Stats, want)
+				}
+			case strings.Contains(res.Err, "executor closed"):
+				if res.Stats != (engine.BatchStats{}) {
+					t.Fatalf("trial %d: closed-pool unit %d leaked stats %+v", trial, i, res.Stats)
+				}
+			default:
+				t.Fatalf("trial %d: unit %d unexpected error %q", trial, i, res.Err)
+			}
+		}
+	}
+}
+
+// Execute entirely after Close is the same contract, without the race: an
+// error Result naming the closed pool.
+func TestExecutorExecuteAfterClose(t *testing.T) {
+	pool := NewExecutor(2)
+	pool.Close()
+	pool.Close() // idempotent
+	res := pool.Execute(Unit{ID: 9, Spec: engine.ShardSpec{
+		Protocol: "hash16",
+		Source:   engine.SourceSpec{Kind: "gray", N: 4, Lo: 0, Hi: 64},
+	}})
+	if res.ID != 9 || !strings.Contains(res.Err, "executor closed") {
+		t.Fatalf("Execute after Close returned %+v, want an executor-closed error for unit 9", res)
+	}
+}

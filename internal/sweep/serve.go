@@ -37,7 +37,19 @@ type ServeOptions struct {
 	// SIGINT here so a fleet daemon can be restarted without eating the
 	// retry budget of every coordinator mid-unit.
 	Context context.Context
+	// Executor, when non-nil, is the shared pool every connection's units
+	// execute over — Parallel is ignored and the daemon neither creates nor
+	// closes the pool; the caller owns its lifecycle. This is how one
+	// process serves raw TCP units and HTTP job submissions (internal/
+	// service) over a single bounded pool, so total execution concurrency
+	// stays capped no matter how many surfaces accept work.
+	Executor *Executor
 }
+
+// testHookPostHandshake, when non-nil, runs on a connection's goroutine
+// between a successful handshake and the deadline reset that follows — the
+// window the drain-race regression test widens deterministically.
+var testHookPostHandshake func()
 
 // Serve runs the `refereesim serve` worker daemon: it accepts coordinator
 // connections on l until the listener closes, and serves each one on its own
@@ -81,9 +93,14 @@ func Serve(l net.Listener, opts ServeOptions) error {
 
 	exec := executeUnit
 	var pool *Executor
-	var poolClose sync.Once
-	if opts.Parallel > 1 {
+	ownPool := false
+	switch {
+	case opts.Executor != nil:
+		pool = opts.Executor
+		exec = pool.Execute
+	case opts.Parallel > 1:
 		pool = NewExecutor(opts.Parallel)
+		ownPool = true
 		exec = pool.Execute
 	}
 	// The in-flight accounting wraps every execution so the drain summary
@@ -97,23 +114,23 @@ func Serve(l net.Listener, opts ServeOptions) error {
 		}
 		return res
 	}
-	// The pool must outlive every connection that can still submit to it.
-	// On the drain path it is closed synchronously before Serve returns;
-	// on the legacy path (listener closed externally, no Context) the
-	// close happens off to the side so Serve doesn't block shutdown on a
-	// slow coordinator.
+	// An owned pool must outlive every connection that can still submit to
+	// it. On the drain path it is closed synchronously before Serve
+	// returns; on the legacy path (listener closed externally, no Context)
+	// the close happens off to the side so Serve doesn't block shutdown on
+	// a slow coordinator. A caller-supplied Executor is never closed here.
 	releasePool := func(wait bool) {
-		if pool == nil {
+		if pool == nil || !ownPool {
 			return
 		}
 		if wait {
 			conns.Wait()
-			poolClose.Do(pool.Close)
+			pool.Close()
 			return
 		}
 		go func() {
 			conns.Wait()
-			poolClose.Do(pool.Close)
+			pool.Close()
 		}()
 	}
 
@@ -179,7 +196,26 @@ func Serve(l net.Listener, opts ServeOptions) error {
 				logf("serve: %s rejected: %v", addr, err)
 				return
 			}
-			nc.SetDeadline(time.Time{})
+			if h := testHookPostHandshake; h != nil {
+				h()
+			}
+			// Clearing the handshake deadline races the drain sweep: if the
+			// drain's SetReadDeadline(time.Now()) poke landed while the
+			// handshake was completing, an unconditional SetDeadline(zero)
+			// here would erase it and this connection's first unit read would
+			// block forever — conns.Wait() then never returns and the drain
+			// hangs. Re-check draining under liveMu (the lock the drain
+			// sweep pokes under, mirroring the accept-path check above): on
+			// the drain side of the race, keep the read side expired so
+			// serveUnits fails its first read and the goroutine exits.
+			liveMu.Lock()
+			if draining.Load() {
+				nc.SetWriteDeadline(time.Time{})
+				nc.SetReadDeadline(time.Now())
+			} else {
+				nc.SetDeadline(time.Time{})
+			}
+			liveMu.Unlock()
 			logf("serve: %s connected", addr)
 			if err := serveUnits(conn.in, nc, execWrapped); err != nil {
 				if draining.Load() && errors.Is(err, os.ErrDeadlineExceeded) {

@@ -126,6 +126,17 @@ type Options struct {
 	// ChaosTransport injecting the configured fault schedule — the
 	// deterministic soak harness for everything above.
 	Chaos *ChaosOptions
+
+	// Progress, when non-nil, is called each time a unit of the plan
+	// reaches its terminal state — merged into the totals or permanently
+	// failed — with the running count of terminal units and the plan's
+	// total unit count. Units restored from the manifest are reported once,
+	// up front, as a single call carrying the restored count. RunFleets
+	// runs one coordinator per fleet, so calls may be concurrent: the
+	// callback must be goroutine-safe and cheap (it runs on a coordinator's
+	// accounting goroutine). The job service (internal/service) hangs its
+	// per-job progress API on this hook.
+	Progress func(done, total int)
 }
 
 // breaker builds the per-fleet endpoint breaker from the options, or nil
@@ -259,6 +270,16 @@ func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (SweepReport
 		units = append(units, Unit{ID: id, Spec: spec})
 	}
 	logf(opts.Log, "sweep: %d units (%d restored from manifest), %d groups", len(units), len(done), len(groups))
+	var progress func()
+	if opts.Progress != nil {
+		total := len(plan.Shards)
+		var terminal atomic.Int64
+		terminal.Store(int64(rep.Restored))
+		if rep.Restored > 0 {
+			opts.Progress(rep.Restored, total)
+		}
+		progress = func() { opts.Progress(int(terminal.Add(1)), total) }
+	}
 	if len(units) == 0 {
 		return rep, nil
 	}
@@ -277,7 +298,7 @@ func runGroups(plan engine.Plan, opts Options, groups []fleetGroup) (SweepReport
 		wg.Add(1)
 		go func(g fleetGroup, part []Unit) {
 			defer wg.Done()
-			c := &coordinator{opts: opts, group: g, mf: mf, ctr: ctr}
+			c := &coordinator{opts: opts, group: g, mf: mf, ctr: ctr, progress: progress}
 			st, err := c.run(part)
 			mu.Lock()
 			rep.Stats.Merge(st)
@@ -350,6 +371,7 @@ type coordinator struct {
 	group    fleetGroup
 	mf       *manifest
 	ctr      *counters
+	progress func() // nil unless Options.Progress is set
 	work     chan dispatch
 	results  chan outcome
 	hedgeReq chan int
@@ -446,6 +468,9 @@ func (c *coordinator) run(units []Unit) (engine.BatchStats, error) {
 					c.ctr.hedgeWins.Add(1)
 				}
 				outstanding--
+				if c.progress != nil {
+					c.progress()
+				}
 				continue
 			}
 			tries[id]++
@@ -464,6 +489,9 @@ func (c *coordinator) run(units []Unit) (engine.BatchStats, error) {
 				done[id] = true
 				c.ctr.failed.Add(1)
 				outstanding--
+				if c.progress != nil {
+					c.progress()
+				}
 				continue
 			}
 			if pending[id] > 0 {

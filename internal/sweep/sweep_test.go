@@ -549,3 +549,58 @@ func TestSplitGrayRanksIgnoresTemplateSourceJunk(t *testing.T) {
 		t.Errorf("template source junk leaked into the plan:\n%+v\nvs\n%+v", a.Shards[0], b.Shards[0])
 	}
 }
+
+// The Progress hook reports every unit's terminal transition exactly once:
+// monotone counts ending at the plan size, restored manifest units included
+// as one up-front call.
+func TestSweepProgressHook(t *testing.T) {
+	const n, units = 5, 6
+	plan := grayPlan(t, "hash16", n, units, false)
+
+	var mu sync.Mutex
+	var calls [][2]int
+	rep, err := Run(plan, Options{Workers: 2, Progress: func(done, total int) {
+		mu.Lock()
+		calls = append(calls, [2]int{done, total})
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != units {
+		t.Fatalf("progress called %d times, want %d: %v", len(calls), units, calls)
+	}
+	seen := map[int]bool{}
+	for _, c := range calls {
+		if c[1] != units {
+			t.Errorf("progress total %d, want %d", c[1], units)
+		}
+		if c[0] < 1 || c[0] > units || seen[c[0]] {
+			t.Errorf("progress done values not a permutation of 1..%d: %v", units, calls)
+			break
+		}
+		seen[c[0]] = true
+	}
+	if rep.Executed != units {
+		t.Errorf("report executed %d, want %d", rep.Executed, units)
+	}
+
+	// A manifest-resumed rerun reports the restored units in one up-front
+	// call and nothing else.
+	dir := t.TempDir()
+	mfPath := filepath.Join(dir, "progress.manifest")
+	if _, err := Run(plan, Options{Workers: 2, Manifest: mfPath}); err != nil {
+		t.Fatal(err)
+	}
+	calls = nil
+	if _, err := Run(plan, Options{Workers: 2, Manifest: mfPath, Progress: func(done, total int) {
+		mu.Lock()
+		calls = append(calls, [2]int{done, total})
+		mu.Unlock()
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != [2]int{units, units} {
+		t.Errorf("resumed run progress calls %v, want one (%d,%d) call", calls, units, units)
+	}
+}
